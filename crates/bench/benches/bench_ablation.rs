@@ -1,0 +1,46 @@
+//! Simulator cost of each §4 enhancement toggled individually (the IPC
+//! effect of the same toggles is printed by `--bin ablate`).
+
+use chainiq::{run_one, Bench, IqKind, SegmentedIqConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const INSTS: u64 = 8_000;
+
+fn configs() -> Vec<(&'static str, SegmentedIqConfig)> {
+    let base = SegmentedIqConfig::paper(256, Some(128));
+    let mut no_pushdown = base;
+    no_pushdown.pushdown = false;
+    let mut no_bypass = base;
+    no_bypass.bypass = false;
+    let mut no_recovery = base;
+    no_recovery.deadlock_recovery = false;
+    let mut no_descent = base;
+    no_descent.countdown_includes_descent = false;
+    vec![
+        ("all-on", base),
+        ("no-pushdown", no_pushdown),
+        ("no-bypass", no_bypass),
+        ("no-deadlock-recovery", no_recovery),
+        ("no-descent-countdown", no_descent),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sim_cost");
+    group.sample_size(10);
+    for (label, cfg) in configs() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, &cfg| {
+            b.iter(|| {
+                black_box(
+                    run_one(Bench::Mgrid.profile(), IqKind::Segmented(cfg), true, true, INSTS, 7)
+                        .ipc(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

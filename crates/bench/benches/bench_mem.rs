@@ -1,0 +1,39 @@
+//! Memory-hierarchy throughput: accesses/second for characteristic
+//! address streams.
+
+use chainiq::mem::{AccessKind, Hierarchy, MemConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn run_stream(addrs: &[u64]) -> u64 {
+    let mut mem = Hierarchy::new(MemConfig::default());
+    let mut done = 0u64;
+    for (now, &a) in addrs.iter().enumerate() {
+        if let Ok(out) = mem.access(now as u64, a, AccessKind::Read) {
+            done = done.max(out.completes_at);
+        }
+    }
+    done
+}
+
+fn bench_mem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+
+    // Resident set: pure L1 hits after warmup.
+    let hits: Vec<u64> = (0..4096u64).map(|i| (i * 8) % 4096).collect();
+    group.bench_function("l1_hits", |b| b.iter(|| black_box(run_stream(&hits))));
+
+    // Line-stride sweep: every access a primary L2/memory miss.
+    let misses: Vec<u64> = (0..4096u64).map(|i| i * 64 * 33).collect();
+    group.bench_function("memory_misses", |b| b.iter(|| black_box(run_stream(&misses))));
+
+    // Word-stride sweep of a huge array: one primary miss plus seven
+    // delayed hits per line (the swim pattern).
+    let delayed: Vec<u64> = (0..4096u64).map(|i| i * 8 + (1 << 24)).collect();
+    group.bench_function("delayed_hits", |b| b.iter(|| black_box(run_stream(&delayed))));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mem);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Simulation cost of the queue structures themselves: time per
+//! simulated cycle for each design at several sizes.
+//!
+//! (The paper's complexity argument is about *hardware* cycle time; this
+//! bench tracks the *simulator's* cost so regressions in the hot loop
+//! are caught. The hardware argument is encoded in the design: wakeup
+//! and select touch one 32-entry segment, never the whole queue.)
+
+use chainiq::core::{DispatchInfo, FuPool, InstTag, IssueQueue, SegmentedIq, SegmentedIqConfig, SrcOperand};
+use chainiq::{ArchReg, IdealIq, OpClass, PrescheduleConfig, PrescheduledIq};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Runs `cycles` simulated cycles with a steady dispatch stream keeping
+/// the queue about half full.
+fn churn(iq: &mut dyn IssueQueue, cycles: u64) -> u64 {
+    let mut fus = FuPool::table1();
+    let mut next_tag = 0u64;
+    let mut issued = 0u64;
+    for now in 1..=cycles {
+        iq.tick(now, false);
+        for sel in iq.select_issue(now, &mut fus) {
+            iq.announce_ready(sel.tag, now + u64::from(sel.op.exec_latency()));
+            iq.on_writeback(sel.tag);
+            issued += 1;
+        }
+        fus.next_cycle();
+        for lane in 0..4u64 {
+            if iq.occupancy() * 2 >= iq.capacity() {
+                break;
+            }
+            let tag = InstTag(next_tag);
+            // A short dependence chain every four instructions.
+            let srcs: Vec<SrcOperand> = if next_tag.is_multiple_of(4) || next_tag == 0 {
+                vec![]
+            } else {
+                vec![SrcOperand {
+                    reg: ArchReg::int(((next_tag - 1) % 24) as u8),
+                    producer: Some(InstTag(next_tag - 1)),
+                    known_ready_at: None,
+                }]
+            };
+            let op = if lane == 3 { OpClass::FpMul } else { OpClass::IntAlu };
+            let info =
+                DispatchInfo::compute(tag, op, ArchReg::int((next_tag % 24) as u8), &srcs);
+            if iq.dispatch(now, info).is_ok() {
+                next_tag += 1;
+            }
+        }
+    }
+    issued
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iq_cycle_cost");
+    for entries in [64usize, 256, 512] {
+        group.bench_with_input(BenchmarkId::new("segmented", entries), &entries, |b, &n| {
+            b.iter(|| {
+                let mut iq = SegmentedIq::new(SegmentedIqConfig::paper(n, Some(128)));
+                black_box(churn(&mut iq, 2_000))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ideal", entries), &entries, |b, &n| {
+            b.iter(|| {
+                let mut iq = IdealIq::new(n);
+                black_box(churn(&mut iq, 2_000))
+            });
+        });
+    }
+    group.bench_function("prescheduled-320", |b| {
+        b.iter(|| {
+            let mut iq = PrescheduledIq::new(PrescheduleConfig::paper(24));
+            black_box(churn(&mut iq, 2_000))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

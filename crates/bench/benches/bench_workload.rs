@@ -1,0 +1,22 @@
+//! Workload-generator throughput: instructions/second per benchmark
+//! profile.
+
+use chainiq::{Bench, SyntheticWorkload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_gen");
+    for bench in [Bench::Swim, Bench::Gcc, Bench::Equake] {
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &bench, |b, &bench| {
+            b.iter(|| {
+                let w = SyntheticWorkload::from_profile(bench.profile(), 7);
+                black_box(w.take(20_000).filter(|i| i.is_load()).count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation study: the IPC contribution of each §4 enhancement and of
+//! the promotion-policy details DESIGN.md §4 calls out.
+//!
+//! For each benchmark, runs the full segmented configuration and then
+//! each variant with exactly one mechanism disabled, printing the IPC
+//! delta. (The predictors' ablation — base/hmp/lrp/comb — is Figure 2's
+//! job; this binary covers the *structural* choices.)
+
+use chainiq::{run_one, Bench, IqKind, SegmentedIqConfig};
+use chainiq_bench::{sample_size, TextTable, DEFAULT_SEED};
+
+fn variants() -> Vec<(&'static str, SegmentedIqConfig)> {
+    let base = SegmentedIqConfig::paper(512, Some(128));
+    let mut no_pushdown = base;
+    no_pushdown.pushdown = false;
+    let mut no_bypass = base;
+    no_bypass.bypass = false;
+    let mut no_descent = base;
+    no_descent.countdown_includes_descent = false;
+    let mut narrow_promote = base;
+    narrow_promote.promote_width = 4;
+    let mut small_segments = base;
+    small_segments.num_segments = 32;
+    small_segments.segment_size = 16;
+    vec![
+        ("full", base),
+        ("-pushdown (§4.1)", no_pushdown),
+        ("-bypass (§4.2)", no_bypass),
+        ("-descent countdown", no_descent),
+        ("promote width 4", narrow_promote),
+        ("16-entry segments", small_segments),
+    ]
+}
+
+fn main() {
+    let sample = sample_size();
+    println!("Ablations: 512-entry segmented IQ, 128 chains, HMP+LRP");
+    println!("({sample} committed instructions per run; cells are IPC, deltas vs full)\n");
+
+    let names: Vec<&str> = variants().iter().map(|(n, _)| *n).collect();
+    let mut header = vec!["bench"];
+    header.extend(names.iter());
+    let mut t = TextTable::new(&header);
+
+    for bench in [Bench::Swim, Bench::Mgrid, Bench::Equake, Bench::Gcc, Bench::Vortex] {
+        let mut cells = vec![bench.name().to_string()];
+        let mut full_ipc = 0.0;
+        for (i, (_, cfg)) in variants().into_iter().enumerate() {
+            let r = run_one(bench.profile(), IqKind::Segmented(cfg), true, true, sample, DEFAULT_SEED);
+            if i == 0 {
+                full_ipc = r.ipc();
+                cells.push(format!("{:.3}", full_ipc));
+            } else {
+                cells.push(format!("{:+.1}%", 100.0 * (r.ipc() / full_ipc - 1.0)));
+            }
+        }
+        t.row(&cells);
+    }
+    println!("{}", t.render());
+    println!("Reading: a strongly negative cell means the paper's mechanism earns its");
+    println!("hardware; bypass matters most for low-occupancy (branchy) benchmarks,");
+    println!("pushdown for deep dependence chains that clog the top segment.");
+}

@@ -1,0 +1,34 @@
+//! Calibration diagnostic: per-benchmark machine behaviour across a few
+//! key configurations. Not a paper artifact — used to tune the synthetic
+//! workload profiles (DESIGN.md §2) and sanity-check result shapes.
+
+use chainiq::Bench;
+use chainiq_bench::{ideal, run, sample_size, segmented, PredictorConfig, TextTable};
+
+fn main() {
+    let sample = sample_size();
+    println!("chainiq calibration — {sample} committed instructions per run\n");
+    let mut t = TextTable::new(&[
+        "bench", "ipc@32", "ipc@512", "seg512/ideal", "bp-acc", "l1d-miss", "l2-miss", "iq-occ",
+        "rob-occ", "br-frac",
+    ]);
+    for bench in Bench::ALL {
+        let small = run(bench, ideal(32), PredictorConfig::Base, sample);
+        let big = run(bench, ideal(512), PredictorConfig::Base, sample);
+        let seg = run(bench, segmented(512, Some(128)), PredictorConfig::Comb, sample);
+        let s = &big.stats;
+        t.row(&[
+            bench.name().into(),
+            format!("{:.3}", small.ipc()),
+            format!("{:.3}", big.ipc()),
+            format!("{:.2}", seg.ipc() / big.ipc()),
+            format!("{:.3}", s.branch_accuracy()),
+            format!("{:.3}", s.l1d_miss_ratio()),
+            format!("{:.3}", s.mem.l2.miss_ratio()),
+            format!("{:.1}", s.iq.mean_occupancy()),
+            format!("{:.1}", s.rob_mean_occupancy),
+            format!("{:.3}", s.branch_lookups as f64 / s.committed.max(1) as f64),
+        ]);
+    }
+    println!("{}", t.render());
+}

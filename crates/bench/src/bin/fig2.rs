@@ -1,0 +1,55 @@
+//! Figure 2 — performance of 512-entry segmented IQ configurations
+//! relative to an ideal 512-entry IQ.
+//!
+//! For each benchmark, twelve bars: {unlimited, 128, 64} chain wires ×
+//! {base, hmp, lrp, comb} predictor configurations, each reported as a
+//! percentage of the ideal monolithic 512-entry queue's IPC. Also prints
+//! the §4.5 deadlock-recovery cycle fraction (scalar claim S2).
+
+use chainiq_bench::{ideal, run, sample_size, segmented, PredictorConfig, TextTable, FIG2_BENCHES};
+
+fn main() {
+    let sample = sample_size();
+    println!("Figure 2: 512-entry segmented IQ vs ideal 512-entry IQ");
+    println!("({sample} committed instructions per run; values are % of ideal IPC)\n");
+
+    let chain_configs: [(Option<usize>, &str); 3] =
+        [(None, "unlimited"), (Some(128), "128 chains"), (Some(64), "64 chains")];
+
+    let mut t = TextTable::new(&[
+        "bench", "chains", "base", "hmp", "lrp", "comb",
+    ]);
+    // rel[chain_cfg][pred] summed across benchmarks for the average rows.
+    let mut sums = [[0.0f64; 4]; 3];
+    let mut deadlock_frac_max: f64 = 0.0;
+
+    for bench in FIG2_BENCHES {
+        let ideal_ipc = run(bench, ideal(512), PredictorConfig::Base, sample).ipc();
+        for (ci, (chains, label)) in chain_configs.iter().enumerate() {
+            let mut cells = vec![bench.name().to_string(), (*label).to_string()];
+            for (pi, pred) in PredictorConfig::ALL.iter().enumerate() {
+                let r = run(bench, segmented(512, *chains), *pred, sample);
+                let rel = 100.0 * r.ipc() / ideal_ipc;
+                sums[ci][pi] += rel;
+                if let Some(seg) = &r.segmented {
+                    deadlock_frac_max = deadlock_frac_max.max(seg.deadlock_cycle_frac());
+                }
+                cells.push(format!("{rel:.1}"));
+            }
+            t.row(&cells);
+        }
+    }
+    let n = FIG2_BENCHES.len() as f64;
+    for (ci, (_, label)) in chain_configs.iter().enumerate() {
+        let mut cells = vec!["average".to_string(), (*label).to_string()];
+        for sum in &sums[ci] {
+            cells.push(format!("{:.1}", sum / n));
+        }
+        t.row(&cells);
+    }
+    println!("{}", t.render());
+    println!(
+        "S2 (§4.5): worst-case deadlock-recovery cycle fraction across runs: {:.4}%",
+        100.0 * deadlock_frac_max
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 3 — IPC across instruction-queue sizes for every benchmark.
+//!
+//! Four curves per benchmark, as in the paper:
+//! * **Ideal** — monolithic single-cycle IQ at 32..512 entries;
+//! * **Comb-128chains / Comb-64chains** — the segmented IQ (32-entry
+//!   segments, HMP + LRP) at the same sizes;
+//! * **Prescheduled** — Michaud & Seznec's scheme with a 32-entry issue
+//!   buffer plus 8/24/56/120 lines of 12 (128, 320, 704, 1472 slots).
+
+use chainiq::Bench;
+use chainiq_bench::{ideal, prescheduled, run, sample_size, segmented, PredictorConfig, TextTable};
+
+const SIZES: [usize; 5] = [32, 64, 128, 256, 512];
+const PRESCHED_LINES: [usize; 4] = [8, 24, 56, 120];
+
+fn main() {
+    let sample = sample_size();
+    println!("Figure 3: IPC vs IQ size ({sample} committed instructions per run)\n");
+
+    for bench in Bench::ALL {
+        let mut t = TextTable::new(&["config", "32", "64", "128", "256", "512"]);
+
+        let mut row = vec!["ideal".to_string()];
+        for size in SIZES {
+            row.push(format!("{:.3}", run(bench, ideal(size), PredictorConfig::Base, sample).ipc()));
+        }
+        t.row(&row);
+
+        for chains in [128usize, 64] {
+            let mut row = vec![format!("comb-{chains}ch")];
+            for size in SIZES {
+                let r = run(bench, segmented(size, Some(chains)), PredictorConfig::Comb, sample);
+                row.push(format!("{:.3}", r.ipc()));
+            }
+            t.row(&row);
+        }
+
+        // Prescheduled data points sit at 128/320/704/1472 total slots;
+        // print them in a parallel row labelled by slot count.
+        let mut row = vec!["presched".to_string()];
+        let mut labels = vec!["slots".to_string()];
+        for lines in PRESCHED_LINES {
+            let r = run(bench, prescheduled(lines), PredictorConfig::Base, sample);
+            row.push(format!("{:.3}", r.ipc()));
+            labels.push(format!("{}", 32 + 12 * lines));
+        }
+        row.push("-".to_string());
+        labels.push("-".to_string());
+        t.row(&labels);
+        t.row(&row);
+
+        println!("== {} ==", bench.name());
+        println!("{}", t.render());
+    }
+}

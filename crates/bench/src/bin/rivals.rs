@@ -1,0 +1,48 @@
+//! §6.3's structural-similarity claim, tested: "We believe that the
+//! performance of the prescheduling and distance schemes would be
+//! similar due to their structural similarity."
+//!
+//! Runs both quasi-static rivals at matched total sizes against the
+//! segmented queue and the ideal queue.
+
+use chainiq::{Bench, DistanceConfig, IqKind, PrescheduleConfig};
+use chainiq_bench::{ideal, run, sample_size, segmented, PredictorConfig, TextTable};
+
+fn main() {
+    let sample = sample_size();
+    println!("Quasi-static rivals at 320 total slots vs dependence chains");
+    println!("({sample} committed instructions per run; IPC)\n");
+
+    let mut t = TextTable::new(&[
+        "bench", "ideal-512", "presched-320", "distance-320", "segmented-320*", "seg-512-128ch",
+    ]);
+    for bench in Bench::ALL {
+        let ideal512 = run(bench, ideal(512), PredictorConfig::Base, sample);
+        let pre = run(
+            bench,
+            IqKind::Prescheduled(PrescheduleConfig::paper(24)),
+            PredictorConfig::Base,
+            sample,
+        );
+        let dist = run(
+            bench,
+            IqKind::Distance(DistanceConfig::paper_sized(24)),
+            PredictorConfig::Base,
+            sample,
+        );
+        // Nearest 32-multiple to 320.
+        let seg320 = run(bench, segmented(320, Some(128)), PredictorConfig::Comb, sample);
+        let seg512 = run(bench, segmented(512, Some(128)), PredictorConfig::Comb, sample);
+        t.row(&[
+            bench.name().to_string(),
+            format!("{:.3}", ideal512.ipc()),
+            format!("{:.3}", pre.ipc()),
+            format!("{:.3}", dist.ipc()),
+            format!("{:.3}", seg320.ipc()),
+            format!("{:.3}", seg512.ipc()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("* 10 segments x 32 entries; the paper's Figure 3 grid has no 320-entry");
+    println!("  point, included here for a size-matched comparison.");
+}

@@ -1,0 +1,169 @@
+//! The function-unit pool of Table 1.
+
+use chainiq_isa::{Cycle, FuKind, OpClass};
+
+/// Table 1's execution resources: a configurable number of units of each
+/// [`FuKind`]. Pipelined ops occupy a unit for one cycle (the issue
+/// slot); unpipelined ops (divide, square root) occupy it for their full
+/// latency.
+///
+/// The pool also enforces the per-cycle issue width: `try_issue` fails
+/// once `issue_width` instructions have issued this cycle, regardless of
+/// unit availability. Call [`FuPool::next_cycle`] at every cycle
+/// boundary.
+///
+/// # Examples
+///
+/// ```
+/// use chainiq_core::FuPool;
+/// use chainiq_isa::OpClass;
+///
+/// let mut fus = FuPool::table1();
+/// // Eight integer ALUs, but the 8-wide issue limit binds first.
+/// for _ in 0..8 {
+///     assert!(fus.try_issue(0, OpClass::IntAlu));
+/// }
+/// assert!(!fus.try_issue(0, OpClass::IntAlu));
+/// fus.next_cycle();
+/// assert!(fus.try_issue(1, OpClass::IntAlu));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    /// `busy_until[kind][unit]`: the unit is free when `now >= busy_until`.
+    busy_until: [Vec<Cycle>; 4],
+    issue_width: usize,
+    issued_this_cycle: usize,
+}
+
+impl FuPool {
+    /// Creates a pool with `units_per_kind` of each kind and the given
+    /// per-cycle issue width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    #[must_use]
+    pub fn new(units_per_kind: usize, issue_width: usize) -> Self {
+        assert!(units_per_kind > 0 && issue_width > 0);
+        FuPool {
+            busy_until: std::array::from_fn(|_| vec![0; units_per_kind]),
+            issue_width,
+            issued_this_cycle: 0,
+        }
+    }
+
+    /// Table 1: eight units of each kind, 8-wide issue.
+    #[must_use]
+    pub fn table1() -> Self {
+        FuPool::new(8, 8)
+    }
+
+    /// The per-cycle issue width.
+    #[must_use]
+    pub fn issue_width(&self) -> usize {
+        self.issue_width
+    }
+
+    /// Issue slots still available this cycle.
+    #[must_use]
+    pub fn slots_left(&self) -> usize {
+        self.issue_width - self.issued_this_cycle
+    }
+
+    /// Attempts to claim an issue slot and a free unit for `op` at `now`.
+    /// On success the unit is reserved; on failure nothing changes.
+    pub fn try_issue(&mut self, now: Cycle, op: OpClass) -> bool {
+        if self.issued_this_cycle >= self.issue_width {
+            return false;
+        }
+        let kind = op.fu_kind();
+        let units = &mut self.busy_until[kind.index()];
+        let Some(unit) = units.iter_mut().find(|b| **b <= now) else {
+            return false;
+        };
+        *unit = if op.is_pipelined() { now + 1 } else { now + u64::from(op.exec_latency()) };
+        self.issued_this_cycle += 1;
+        true
+    }
+
+    /// Checks availability without reserving.
+    #[must_use]
+    pub fn can_issue(&self, now: Cycle, op: OpClass) -> bool {
+        self.issued_this_cycle < self.issue_width
+            && self.busy_until[op.fu_kind().index()].iter().any(|b| *b <= now)
+    }
+
+    /// Resets the per-cycle issue counter. Call at each cycle boundary.
+    pub fn next_cycle(&mut self) {
+        self.issued_this_cycle = 0;
+    }
+
+    /// Number of units of `kind` busy at `now` (for occupancy stats).
+    #[must_use]
+    pub fn busy_units(&self, now: Cycle, kind: FuKind) -> usize {
+        self.busy_until[kind.index()].iter().filter(|b| **b > now).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_unit_frees_next_cycle() {
+        let mut fus = FuPool::new(1, 8);
+        assert!(fus.try_issue(0, OpClass::FpMul)); // 4-cycle but pipelined
+        fus.next_cycle();
+        assert!(fus.try_issue(1, OpClass::FpMul));
+    }
+
+    #[test]
+    fn unpipelined_unit_blocks_for_full_latency() {
+        let mut fus = FuPool::new(1, 8);
+        assert!(fus.try_issue(0, OpClass::FpDiv)); // 12 cycles, unpipelined
+        fus.next_cycle();
+        assert!(!fus.try_issue(1, OpClass::FpDiv));
+        assert!(!fus.can_issue(11, OpClass::FpDiv));
+        assert!(fus.can_issue(12, OpClass::FpDiv));
+    }
+
+    #[test]
+    fn issue_width_binds_across_kinds() {
+        let mut fus = FuPool::new(8, 2);
+        assert!(fus.try_issue(0, OpClass::IntAlu));
+        assert!(fus.try_issue(0, OpClass::FpAdd));
+        assert!(!fus.try_issue(0, OpClass::IntMul), "issue width exhausted");
+        assert_eq!(fus.slots_left(), 0);
+    }
+
+    #[test]
+    fn divider_does_not_block_multiplier_unit_count() {
+        // IntMul and IntDiv share the int-mul unit kind.
+        let mut fus = FuPool::new(1, 8);
+        assert!(fus.try_issue(0, OpClass::IntDiv));
+        fus.next_cycle();
+        assert!(!fus.try_issue(1, OpClass::IntMul), "shared unit busy with divide");
+    }
+
+    #[test]
+    fn busy_units_counts() {
+        let mut fus = FuPool::table1();
+        fus.try_issue(0, OpClass::FpSqrt);
+        assert_eq!(fus.busy_units(5, FuKind::FpMul), 1);
+        assert_eq!(fus.busy_units(24, FuKind::FpMul), 0);
+        assert_eq!(fus.busy_units(5, FuKind::IntAlu), 0);
+    }
+
+    #[test]
+    fn loads_use_int_alu_for_ea() {
+        let mut fus = FuPool::new(1, 8);
+        assert!(fus.try_issue(0, OpClass::Load));
+        assert!(!fus.try_issue(0, OpClass::IntAlu), "EA calc consumed the ALU");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_units_panics() {
+        let _ = FuPool::new(0, 8);
+    }
+}

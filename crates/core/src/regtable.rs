@@ -1,0 +1,260 @@
+//! The dispatch-stage register information table (§3.3).
+//!
+//! One entry per architectural register, recording how far the register's
+//! value is from being produced: which chain will produce it, its
+//! expected latency relative to that chain head's issue, the head's
+//! segment, and whether the chain is in self-timed mode. The table
+//! listens to the chain wires exactly as queue entries do — at the top of
+//! the wire pipeline, so its view lags the bottom segments by the wire
+//! delay, as in the hardware.
+
+use chainiq_isa::{ArchReg, NUM_ARCH_REGS};
+
+use crate::chain::{ChainRef, SignalKind, WireSignal};
+
+/// Scheduling status of one architectural register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RegSched {
+    /// The value is (believed) available now.
+    Available,
+    /// The value is not chain-tracked; it is expected in `remaining`
+    /// cycles (a dispatched instruction whose operands were all ready).
+    Countdown {
+        /// Cycles until the value is expected.
+        remaining: i64,
+    },
+    /// The value is produced `latency` cycles after `chain`'s head
+    /// issues; the head is (as last seen here) in segment `head_loc`.
+    OnChain {
+        /// Producing chain.
+        chain: ChainRef,
+        /// Cycles after head issue until this value is ready. Fixed until
+        /// self-timed mode, then counts down.
+        latency: i64,
+        /// Head's segment as last observed at the table.
+        head_loc: i64,
+        /// Head has issued; `latency` counts down each cycle.
+        self_timed: bool,
+        /// Self-timing is suspended (head load missed; §3.4).
+        suspended: bool,
+    },
+}
+
+impl RegSched {
+    /// The expected delay (cycles until available) implied by this entry,
+    /// for initializing a dependent's delay value: `2 * S_H + D_H` for
+    /// chain-tracked values (§3.3), the remaining countdown otherwise.
+    #[cfg(test)]
+    pub(crate) fn expected_delay(&self) -> i64 {
+        match *self {
+            RegSched::Available => 0,
+            RegSched::Countdown { remaining } => remaining.max(0),
+            RegSched::OnChain { latency, head_loc, self_timed, .. } => {
+                if self_timed {
+                    latency.max(0)
+                } else {
+                    2 * head_loc.max(0) + latency.max(0)
+                }
+            }
+        }
+    }
+}
+
+/// The register information table.
+#[derive(Debug, Clone)]
+pub(crate) struct RegInfoTable {
+    entries: Vec<RegSched>,
+}
+
+impl RegInfoTable {
+    pub(crate) fn new() -> Self {
+        RegInfoTable { entries: vec![RegSched::Available; NUM_ARCH_REGS] }
+    }
+
+    pub(crate) fn get(&self, reg: ArchReg) -> RegSched {
+        self.entries[reg.index()]
+    }
+
+    pub(crate) fn set(&mut self, reg: ArchReg, sched: RegSched) {
+        self.entries[reg.index()] = sched;
+    }
+
+    /// Applies a chain-wire signal that reached the top of the queue.
+    pub(crate) fn apply_signal(&mut self, sig: WireSignal) {
+        for e in &mut self.entries {
+            if let RegSched::OnChain { chain, head_loc, self_timed, suspended, .. } = e {
+                if *chain != sig.chain {
+                    continue;
+                }
+                match sig.kind {
+                    SignalKind::Pulse => {
+                        if !*self_timed {
+                            if *head_loc > 0 {
+                                *head_loc -= 1;
+                            } else {
+                                *self_timed = true;
+                            }
+                        }
+                    }
+                    SignalKind::Suspend => *suspended = true,
+                    SignalKind::Resume => *suspended = false,
+                }
+            }
+        }
+    }
+
+    /// One cycle of countdowns. Signals for this cycle must be applied
+    /// first (suspends take effect before the decrement they gate).
+    pub(crate) fn tick(&mut self) {
+        for e in &mut self.entries {
+            match e {
+                RegSched::Countdown { remaining } => {
+                    *remaining -= 1;
+                    if *remaining <= 0 {
+                        *e = RegSched::Available;
+                    }
+                }
+                RegSched::OnChain { latency, self_timed: true, suspended: false, .. } => {
+                    *latency -= 1;
+                    if *latency <= 0 {
+                        *e = RegSched::Available;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Resets every entry (pipeline flush).
+    pub(crate) fn reset(&mut self) {
+        self.entries.fill(RegSched::Available);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(id: u32) -> ChainRef {
+        ChainRef { id, gen: 0 }
+    }
+
+    #[test]
+    fn countdown_becomes_available() {
+        let mut t = RegInfoTable::new();
+        let r = ArchReg::int(1);
+        t.set(r, RegSched::Countdown { remaining: 2 });
+        t.tick();
+        assert_eq!(t.get(r), RegSched::Countdown { remaining: 1 });
+        t.tick();
+        assert_eq!(t.get(r), RegSched::Available);
+    }
+
+    #[test]
+    fn pulses_walk_head_down_then_self_time() {
+        let mut t = RegInfoTable::new();
+        let r = ArchReg::int(2);
+        t.set(
+            r,
+            RegSched::OnChain { chain: chain(3), latency: 4, head_loc: 2, self_timed: false, suspended: false },
+        );
+        let pulse = WireSignal { chain: chain(3), kind: SignalKind::Pulse, segment: 0 };
+        t.apply_signal(pulse);
+        t.apply_signal(pulse);
+        match t.get(r) {
+            RegSched::OnChain { head_loc, self_timed, .. } => {
+                assert_eq!(head_loc, 0);
+                assert!(!self_timed);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Third pulse = issue.
+        t.apply_signal(pulse);
+        match t.get(r) {
+            RegSched::OnChain { self_timed, latency, .. } => {
+                assert!(self_timed);
+                assert_eq!(latency, 4, "latency untouched until countdown ticks");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Now it counts down to available.
+        for _ in 0..4 {
+            t.tick();
+        }
+        assert_eq!(t.get(r), RegSched::Available);
+    }
+
+    #[test]
+    fn suspend_freezes_countdown_until_resume() {
+        let mut t = RegInfoTable::new();
+        let r = ArchReg::fp(0);
+        t.set(
+            r,
+            RegSched::OnChain { chain: chain(1), latency: 3, head_loc: 0, self_timed: true, suspended: false },
+        );
+        t.tick(); // 3 -> 2
+        t.apply_signal(WireSignal { chain: chain(1), kind: SignalKind::Suspend, segment: 0 });
+        for _ in 0..10 {
+            t.tick(); // frozen
+        }
+        match t.get(r) {
+            RegSched::OnChain { latency, suspended, .. } => {
+                assert_eq!(latency, 2);
+                assert!(suspended);
+            }
+            other => panic!("{other:?}"),
+        }
+        t.apply_signal(WireSignal { chain: chain(1), kind: SignalKind::Resume, segment: 0 });
+        t.tick();
+        t.tick();
+        assert_eq!(t.get(r), RegSched::Available);
+    }
+
+    #[test]
+    fn signals_for_other_chains_are_ignored() {
+        let mut t = RegInfoTable::new();
+        let r = ArchReg::int(3);
+        let sched =
+            RegSched::OnChain { chain: chain(1), latency: 5, head_loc: 3, self_timed: false, suspended: false };
+        t.set(r, sched);
+        t.apply_signal(WireSignal { chain: chain(2), kind: SignalKind::Pulse, segment: 0 });
+        assert_eq!(t.get(r), sched);
+        // Same wire id, different generation: also ignored.
+        t.apply_signal(WireSignal {
+            chain: ChainRef { id: 1, gen: 9 },
+            kind: SignalKind::Pulse,
+            segment: 0,
+        });
+        assert_eq!(t.get(r), sched);
+    }
+
+    #[test]
+    fn expected_delay_formula() {
+        assert_eq!(RegSched::Available.expected_delay(), 0);
+        assert_eq!(RegSched::Countdown { remaining: 7 }.expected_delay(), 7);
+        let on = RegSched::OnChain {
+            chain: chain(0),
+            latency: 3,
+            head_loc: 5,
+            self_timed: false,
+            suspended: false,
+        };
+        assert_eq!(on.expected_delay(), 2 * 5 + 3);
+        let timed = RegSched::OnChain {
+            chain: chain(0),
+            latency: 3,
+            head_loc: 0,
+            self_timed: true,
+            suspended: false,
+        };
+        assert_eq!(timed.expected_delay(), 3);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = RegInfoTable::new();
+        t.set(ArchReg::int(1), RegSched::Countdown { remaining: 10 });
+        t.reset();
+        assert_eq!(t.get(ArchReg::int(1)), RegSched::Available);
+    }
+}

@@ -1,0 +1,148 @@
+//! A small experiment harness: build a machine for a (benchmark, queue
+//! design) pair and run it. Used by the `chainiq-bench` binaries that
+//! regenerate the paper's tables and figures.
+
+use chainiq_baseline::{DistanceConfig, DistanceIq, IdealIq, PrescheduleConfig, PrescheduledIq};
+use chainiq_core::{SegmentedIq, SegmentedIqConfig, SegmentedStats};
+use chainiq_workload::{Profile, SyntheticWorkload};
+
+use crate::config::SimConfig;
+use crate::pipeline::Pipeline;
+use crate::stats::SimStats;
+
+/// Which instruction-queue design to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IqKind {
+    /// The idealized monolithic single-cycle queue with this many
+    /// entries.
+    Ideal(usize),
+    /// The segmented dependence-chain queue.
+    Segmented(SegmentedIqConfig),
+    /// Michaud & Seznec's prescheduling queue.
+    Prescheduled(PrescheduleConfig),
+    /// Canal & González's distance queue.
+    Distance(DistanceConfig),
+}
+
+impl IqKind {
+    /// Total instruction slots of the design.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        match self {
+            IqKind::Ideal(n) => *n,
+            IqKind::Segmented(c) => c.capacity(),
+            IqKind::Prescheduled(c) => c.capacity(),
+            IqKind::Distance(c) => c.capacity(),
+        }
+    }
+
+    /// Whether the §5 extra dispatch cycle applies (it does for both
+    /// dependence-based designs, not for the ideal queue).
+    #[must_use]
+    pub fn pays_extra_dispatch_cycle(&self) -> bool {
+        !matches!(self, IqKind::Ideal(_))
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// General machine statistics.
+    pub stats: SimStats,
+    /// Segmented-queue statistics, when that design ran.
+    pub segmented: Option<SegmentedStats>,
+}
+
+impl RunResult {
+    /// Committed instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// Builds the Table 1 machine around `kind` (applying the ROB-3×-IQ rule
+/// and the extra dispatch cycle where due), runs `profile` for
+/// `max_insts` committed instructions, and returns the statistics.
+///
+/// `use_hmp`/`use_lrp` control the §4.3/§4.4 predictor hooks — they only
+/// change behaviour for the segmented queue.
+#[must_use]
+#[allow(clippy::fn_params_excessive_bools)]
+pub fn run_one(
+    profile: Profile,
+    kind: IqKind,
+    use_hmp: bool,
+    use_lrp: bool,
+    max_insts: u64,
+    seed: u64,
+) -> RunResult {
+    let mut config = SimConfig::default().rob_for_iq(kind.capacity());
+    config.extra_dispatch_cycle = kind.pays_extra_dispatch_cycle();
+    config.use_hmp = use_hmp;
+    config.use_lrp = use_lrp;
+    let workload = SyntheticWorkload::from_profile(profile, seed);
+    match kind {
+        IqKind::Ideal(n) => {
+            let mut sim = Pipeline::new(config, IdealIq::new(n), workload);
+            let stats = sim.run(max_insts);
+            RunResult { stats, segmented: None }
+        }
+        IqKind::Segmented(mut qc) => {
+            // The §4.3 predictor replaces two-chain tracking.
+            qc.two_chain_tracking = !use_lrp;
+            let mut sim = Pipeline::new(config, SegmentedIq::new(qc), workload);
+            let stats = sim.run(max_insts);
+            let segmented = Some(sim.iq().full_stats());
+            RunResult { stats, segmented }
+        }
+        IqKind::Prescheduled(pc) => {
+            let mut sim = Pipeline::new(config, PrescheduledIq::new(pc), workload);
+            let stats = sim.run(max_insts);
+            RunResult { stats, segmented: None }
+        }
+        IqKind::Distance(dc) => {
+            let mut sim = Pipeline::new(config, DistanceIq::new(dc), workload);
+            let stats = sim.run(max_insts);
+            RunResult { stats, segmented: None }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainiq_workload::Bench;
+
+    #[test]
+    fn capacities() {
+        assert_eq!(IqKind::Ideal(512).capacity(), 512);
+        assert_eq!(IqKind::Segmented(SegmentedIqConfig::paper(512, None)).capacity(), 512);
+        assert_eq!(IqKind::Prescheduled(PrescheduleConfig::paper(8)).capacity(), 128);
+    }
+
+    #[test]
+    fn extra_dispatch_cycle_rule() {
+        assert!(!IqKind::Ideal(512).pays_extra_dispatch_cycle());
+        assert!(IqKind::Segmented(SegmentedIqConfig::paper(64, None)).pays_extra_dispatch_cycle());
+        assert!(IqKind::Prescheduled(PrescheduleConfig::paper(8)).pays_extra_dispatch_cycle());
+    }
+
+    #[test]
+    fn a_small_run_commits_and_reports() {
+        let r = run_one(Bench::Vortex.profile(), IqKind::Ideal(64), false, false, 2_000, 7);
+        assert!(!r.stats.hung, "simulation must make progress");
+        assert!(r.stats.committed >= 2_000, "commit width may overshoot slightly");
+        assert!(r.ipc() > 0.05);
+        assert!(r.segmented.is_none());
+    }
+
+    #[test]
+    fn segmented_run_reports_chain_stats() {
+        let qc = SegmentedIqConfig::paper(64, Some(64));
+        let r = run_one(Bench::Vortex.profile(), IqKind::Segmented(qc), true, true, 2_000, 7);
+        assert!(!r.stats.hung);
+        let seg = r.segmented.expect("segmented stats present");
+        assert!(seg.chains.allocations > 0, "loads must have created chains");
+    }
+}

@@ -1,0 +1,370 @@
+//! The load/store queue.
+//!
+//! As in §5 (following sim-outorder), memory instructions split: the
+//! effective-address calculation is scheduled by the instruction queue as
+//! an ordinary integer op, and the memory access lives here. A load
+//! accesses the cache once its address is known and it is known not to
+//! conflict with any preceding store; an exact-address match forwards
+//! from the store instead. Stores write to the cache after commit.
+
+use std::collections::VecDeque;
+
+use chainiq_core::InstTag;
+use chainiq_isa::Cycle;
+use chainiq_mem::{AccessKind, Hierarchy, ServicedBy};
+
+/// What happened to a memory operation this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LsqEvent {
+    /// A load's access resolved.
+    LoadResolved {
+        tag: InstTag,
+        pc: u64,
+        /// HMP verdict the load dispatched under.
+        predicted_hit: bool,
+        /// When the loaded value is available to consumers.
+        completes_at: Cycle,
+        /// When the L1 lookup resolved (miss-detection time for chain
+        /// suspension).
+        l1_resolved_at: Cycle,
+        /// Whether it was a true L1 hit (delayed hits count as misses).
+        was_l1_hit: bool,
+        /// Whether the value was forwarded from an in-flight store.
+        forwarded: bool,
+    },
+    /// A committed store wrote to the cache.
+    StoreWritten { tag: InstTag },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Address not yet computed.
+    WaitingEa,
+    /// Address known at `Cycle`; access not yet performed.
+    Ready(Cycle),
+    /// Load resolved / store waiting to commit+write.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct LsqEntry {
+    tag: InstTag,
+    pc: u64,
+    addr: u64,
+    is_store: bool,
+    state: State,
+    committed: bool,
+    /// HMP verdict this load dispatched under (stats pairing).
+    predicted_hit: bool,
+}
+
+/// Statistics the LSQ reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct LsqStats {
+    pub loads_issued: u64,
+    pub stores_written: u64,
+    pub forwards: u64,
+    pub disambiguation_stalls: u64,
+    pub mshr_retries: u64,
+}
+
+/// The load/store queue. Unbounded (the ROB bounds in-flight memory ops;
+/// the paper gives no LSQ size).
+#[derive(Debug, Clone)]
+pub(crate) struct Lsq {
+    entries: VecDeque<LsqEntry>,
+    read_ports: usize,
+    write_ports: usize,
+    stats: LsqStats,
+}
+
+impl Lsq {
+    pub(crate) fn new(read_ports: usize, write_ports: usize) -> Self {
+        Lsq { entries: VecDeque::new(), read_ports, write_ports, stats: LsqStats::default() }
+    }
+
+    pub(crate) fn stats(&self) -> LsqStats {
+        self.stats
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Inserts a memory op at dispatch (program order). `predicted_hit`
+    /// is the HMP verdict the load dispatched under.
+    pub(crate) fn push(&mut self, tag: InstTag, pc: u64, addr: u64, is_store: bool, predicted_hit: bool) {
+        self.entries.push_back(LsqEntry {
+            tag,
+            pc,
+            addr,
+            is_store,
+            state: State::WaitingEa,
+            committed: false,
+            predicted_hit,
+        });
+    }
+
+    /// The IQ issued the op's EA calculation; the address is known at
+    /// `ea_at`.
+    pub(crate) fn ea_computed(&mut self, tag: InstTag, ea_at: Cycle) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.tag == tag) {
+            if e.state == State::WaitingEa {
+                e.state = State::Ready(ea_at);
+            }
+        }
+    }
+
+    /// The instruction committed: loads leave; stores become eligible to
+    /// write (they leave once written).
+    pub(crate) fn on_commit(&mut self, tag: InstTag) {
+        if let Some(pos) = self.entries.iter().position(|e| e.tag == tag) {
+            if self.entries[pos].is_store {
+                self.entries[pos].committed = true;
+            } else {
+                self.entries.remove(pos);
+            }
+        }
+    }
+
+    /// Whether any op is still waiting to access memory.
+    #[cfg(test)]
+    pub(crate) fn has_pending_access(&self) -> bool {
+        self.entries.iter().any(|e| !matches!(e.state, State::Done) || (e.is_store && e.committed))
+    }
+
+    /// One cycle of memory scheduling.
+    pub(crate) fn cycle(&mut self, now: Cycle, mem: &mut Hierarchy) -> Vec<LsqEvent> {
+        let mut events = Vec::new();
+        let mut reads = 0usize;
+        let mut writes = 0usize;
+
+        // Committed stores write to the cache in order.
+        let mut written = Vec::new();
+        for (idx, e) in self.entries.iter().enumerate() {
+            if writes >= self.write_ports {
+                break;
+            }
+            if !e.is_store || !e.committed {
+                continue;
+            }
+            match e.state {
+                State::Ready(at) if at <= now => match mem.access(now, e.addr, AccessKind::Write) {
+                    Ok(_) => {
+                        writes += 1;
+                        written.push(idx);
+                        events.push(LsqEvent::StoreWritten { tag: e.tag });
+                    }
+                    Err(_) => {
+                        self.stats.mshr_retries += 1;
+                    }
+                },
+                _ => {}
+            }
+        }
+        for idx in written.into_iter().rev() {
+            self.entries.remove(idx);
+        }
+        self.stats.stores_written += writes as u64;
+
+        // Loads access once disambiguated against all older stores.
+        let snapshot: Vec<(usize, InstTag, u64, Cycle)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match (e.is_store, e.state) {
+                (false, State::Ready(at)) if at <= now => Some((i, e.tag, e.addr, at)),
+                _ => None,
+            })
+            .collect();
+        for (idx, tag, addr, _) in snapshot {
+            if reads >= self.read_ports {
+                break;
+            }
+            // Scan older entries for conflicts; nearest same-address store
+            // forwards.
+            let mut blocked = false;
+            let mut forward_from: Option<usize> = None;
+            for (j, older) in self.entries.iter().enumerate().take(idx) {
+                if !older.is_store {
+                    continue;
+                }
+                match older.state {
+                    State::WaitingEa => {
+                        blocked = true;
+                        break;
+                    }
+                    State::Ready(at) if at > now => {
+                        blocked = true;
+                        break;
+                    }
+                    _ => {
+                        if older.addr == addr {
+                            forward_from = Some(j);
+                        }
+                    }
+                }
+            }
+            if blocked {
+                self.stats.disambiguation_stalls += 1;
+                continue;
+            }
+            let l1_latency = mem.config().l1d.latency;
+            if forward_from.is_some() {
+                // Store-to-load forwarding at L1-hit latency.
+                self.stats.forwards += 1;
+                self.stats.loads_issued += 1;
+                reads += 1;
+                self.entries[idx].state = State::Done;
+                events.push(LsqEvent::LoadResolved {
+                    tag,
+                    pc: self.entries[idx].pc,
+                    predicted_hit: self.entries[idx].predicted_hit,
+                    completes_at: now + l1_latency,
+                    l1_resolved_at: now + l1_latency,
+                    was_l1_hit: true,
+                    forwarded: true,
+                });
+                continue;
+            }
+            match mem.access(now, addr, AccessKind::Read) {
+                Ok(out) => {
+                    self.stats.loads_issued += 1;
+                    reads += 1;
+                    self.entries[idx].state = State::Done;
+                    events.push(LsqEvent::LoadResolved {
+                        tag,
+                        pc: self.entries[idx].pc,
+                        predicted_hit: self.entries[idx].predicted_hit,
+                        completes_at: out.completes_at,
+                        l1_resolved_at: out.l1_resolved_at,
+                        was_l1_hit: out.serviced_by == ServicedBy::L1,
+                        forwarded: false,
+                    });
+                }
+                Err(_) => {
+                    self.stats.mshr_retries += 1;
+                }
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainiq_mem::MemConfig;
+
+    fn mem() -> Hierarchy {
+        Hierarchy::new(MemConfig::default())
+    }
+
+    #[test]
+    fn load_waits_for_ea() {
+        let mut lsq = Lsq::new(8, 8);
+        let mut m = mem();
+        lsq.push(InstTag(0), 0x40, 0x1000, false, false);
+        assert!(lsq.cycle(0, &mut m).is_empty());
+        lsq.ea_computed(InstTag(0), 2);
+        assert!(lsq.cycle(1, &mut m).is_empty(), "EA not ready until cycle 2");
+        let ev = lsq.cycle(2, &mut m);
+        assert_eq!(ev.len(), 1);
+        assert!(matches!(ev[0], LsqEvent::LoadResolved { tag: InstTag(0), .. }));
+    }
+
+    #[test]
+    fn load_blocked_by_unknown_store_address() {
+        let mut lsq = Lsq::new(8, 8);
+        let mut m = mem();
+        lsq.push(InstTag(0), 0x40, 0x1000, true, false); // older store, EA unknown
+        lsq.push(InstTag(1), 0x44, 0x2000, false, false);
+        lsq.ea_computed(InstTag(1), 0);
+        assert!(lsq.cycle(0, &mut m).is_empty(), "unknown store blocks the load");
+        assert!(lsq.stats().disambiguation_stalls > 0);
+        lsq.ea_computed(InstTag(0), 1);
+        let ev = lsq.cycle(1, &mut m);
+        assert_eq!(ev.len(), 1, "disambiguated: different addresses");
+    }
+
+    #[test]
+    fn same_address_store_forwards() {
+        let mut lsq = Lsq::new(8, 8);
+        let mut m = mem();
+        lsq.push(InstTag(0), 0x40, 0x1000, true, false);
+        lsq.push(InstTag(1), 0x44, 0x1000, false, false);
+        lsq.ea_computed(InstTag(0), 0);
+        lsq.ea_computed(InstTag(1), 0);
+        let ev = lsq.cycle(0, &mut m);
+        match ev[0] {
+            LsqEvent::LoadResolved { forwarded, was_l1_hit, completes_at, .. } => {
+                assert!(forwarded);
+                assert!(was_l1_hit);
+                assert_eq!(completes_at, 3, "forwarding at L1 latency");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(lsq.stats().forwards, 1);
+        assert_eq!(m.stats().l1d.accesses(), 0, "no cache access on a forward");
+    }
+
+    #[test]
+    fn stores_write_only_after_commit() {
+        let mut lsq = Lsq::new(8, 8);
+        let mut m = mem();
+        lsq.push(InstTag(0), 0x40, 0x1000, true, false);
+        lsq.ea_computed(InstTag(0), 0);
+        assert!(lsq.cycle(0, &mut m).is_empty(), "uncommitted store does not write");
+        lsq.on_commit(InstTag(0));
+        let ev = lsq.cycle(1, &mut m);
+        assert!(matches!(ev[0], LsqEvent::StoreWritten { tag: InstTag(0) }));
+        assert_eq!(lsq.len(), 0, "written store leaves the queue");
+    }
+
+    #[test]
+    fn committed_load_leaves_queue() {
+        let mut lsq = Lsq::new(8, 8);
+        let mut m = mem();
+        lsq.push(InstTag(0), 0x40, 0x1000, false, false);
+        lsq.ea_computed(InstTag(0), 0);
+        lsq.cycle(0, &mut m);
+        lsq.on_commit(InstTag(0));
+        assert_eq!(lsq.len(), 0);
+    }
+
+    #[test]
+    fn read_ports_limit_per_cycle() {
+        let mut lsq = Lsq::new(2, 2);
+        let mut m = mem();
+        for i in 0..4u64 {
+            lsq.push(InstTag(i), 0x40 + i * 4, 0x1000 + i * 4096, false, false);
+            lsq.ea_computed(InstTag(i), 0);
+        }
+        assert_eq!(lsq.cycle(0, &mut m).len(), 2);
+        assert_eq!(lsq.cycle(1, &mut m).len(), 2);
+    }
+
+    #[test]
+    fn pending_accesses_are_visible() {
+        let mut lsq = Lsq::new(8, 8);
+        assert!(!lsq.has_pending_access());
+        lsq.push(InstTag(0), 0x40, 0x1000, false, false);
+        assert!(lsq.has_pending_access());
+    }
+
+    #[test]
+    fn load_after_store_same_line_different_word_is_not_forwarded() {
+        let mut lsq = Lsq::new(8, 8);
+        let mut m = mem();
+        lsq.push(InstTag(0), 0x40, 0x1000, true, false);
+        lsq.push(InstTag(1), 0x44, 0x1008, false, false); // same 64B line, next word
+        lsq.ea_computed(InstTag(0), 0);
+        lsq.ea_computed(InstTag(1), 0);
+        let ev = lsq.cycle(0, &mut m);
+        match ev[0] {
+            LsqEvent::LoadResolved { forwarded, .. } => assert!(!forwarded),
+            other => panic!("{other:?}"),
+        }
+    }
+}

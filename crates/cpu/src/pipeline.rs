@@ -1,0 +1,394 @@
+//! The cycle loop tying front end, queue, LSQ, memory and commit
+//! together.
+
+use std::collections::{BTreeMap, HashMap};
+
+use chainiq_core::{DispatchInfo, FuPool, InstTag, IssueQueue, OperandPick, SrcOperand};
+use chainiq_isa::{Cycle, Inst, OpClass};
+use chainiq_mem::Hierarchy;
+use chainiq_predict::{HitMissPredictor, HybridBranchPredictor, LeftRightPredictor, Operand};
+
+use crate::config::SimConfig;
+use crate::frontend::Frontend;
+use crate::lsq::{Lsq, LsqEvent};
+use crate::rename::RenameState;
+use crate::rob::{Rob, RobEntry, RobState};
+use crate::stats::SimStats;
+
+/// Deferred timing events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Result written back: ROB entry completes, chains headed by it are
+    /// released, LRP trains.
+    Complete(InstTag),
+    /// A chain-head load's miss became visible (§3.4 suspend).
+    LoadMiss(InstTag),
+    /// A missing load's fill arrived (§3.4 resume).
+    LoadFill(InstTag),
+}
+
+/// The simulated processor: Table 1's core around a pluggable instruction
+/// queue.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Pipeline<Q, W> {
+    config: SimConfig,
+    iq: Q,
+    workload: W,
+    now: Cycle,
+    frontend: Frontend,
+    rob: Rob,
+    lsq: Lsq,
+    mem: Hierarchy,
+    fus: FuPool,
+    bp: HybridBranchPredictor,
+    hmp: HitMissPredictor,
+    lrp: LeftRightPredictor,
+    rename: RenameState,
+    events: BTreeMap<Cycle, Vec<Event>>,
+    completion_time: HashMap<InstTag, Cycle>,
+    next_tag: u64,
+    in_flight: usize,
+    /// Branch the front end is stalled behind, once dispatched.
+    redirect_waiting: Option<InstTag>,
+    /// Store-data dependences: the IQ schedules only a store's
+    /// address-generation (sim-outorder style), so the data operand is
+    /// tracked here and gates the store's completion.
+    store_value: HashMap<InstTag, SrcOperand>,
+    /// Stores whose data producer has not yet announced, keyed by
+    /// producer.
+    waiting_stores: HashMap<InstTag, Vec<InstTag>>,
+    stats: SimStats,
+}
+
+impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
+    /// Builds a processor around `iq`, fed by `workload`.
+    #[must_use]
+    pub fn new(config: SimConfig, iq: Q, workload: W) -> Self {
+        Pipeline {
+            iq,
+            workload,
+            now: 0,
+            frontend: Frontend::new(),
+            rob: Rob::new(config.rob_size),
+            lsq: Lsq::new(config.read_ports, config.write_ports),
+            mem: Hierarchy::new(config.mem),
+            fus: FuPool::new(config.fus_per_kind, config.issue_width),
+            bp: HybridBranchPredictor::new(config.branch),
+            hmp: HitMissPredictor::default(),
+            lrp: LeftRightPredictor::default(),
+            rename: RenameState::new(),
+            events: BTreeMap::new(),
+            completion_time: HashMap::new(),
+            next_tag: 0,
+            in_flight: 0,
+            redirect_waiting: None,
+            store_value: HashMap::new(),
+            waiting_stores: HashMap::new(),
+            stats: SimStats::default(),
+            config,
+        }
+    }
+
+    /// The queue under test.
+    #[must_use]
+    pub fn iq(&self) -> &Q {
+        &self.iq
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The hit/miss predictor (diagnostics).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn hmp(&self) -> &HitMissPredictor {
+        &self.hmp
+    }
+
+    /// Debug description of the oldest in-flight instruction: its tag,
+    /// pipeline state and textual location. For diagnostics only.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_head(&self) -> Option<String> {
+        self.rob.head().map(|e| {
+            format!(
+                "tag={} op={} state={:?} parked_store={} events={} in_flight={}",
+                e.tag.0,
+                e.inst.op,
+                e.state,
+                self.waiting_stores.values().flatten().any(|t| *t == e.tag),
+                self.events.len(),
+                self.in_flight,
+            )
+        })
+    }
+
+    /// Runs until `max_insts` instructions commit (or the cycle guard
+    /// trips) and returns the statistics.
+    pub fn run(&mut self, max_insts: u64) -> SimStats {
+        let mut last_progress = (self.now, self.rob.committed());
+        while self.rob.committed() < max_insts && self.now < self.config.max_cycles {
+            self.step();
+            if self.rob.committed() != last_progress.1 {
+                last_progress = (self.now, self.rob.committed());
+            } else if self.now - last_progress.0 > 500_000 {
+                self.stats.hung = true;
+                break;
+            }
+        }
+        self.snapshot_stats()
+    }
+
+    /// A snapshot of the statistics so far.
+    #[must_use]
+    pub fn snapshot_stats(&self) -> SimStats {
+        let mut s = self.stats.clone();
+        s.cycles = self.now;
+        s.committed = self.rob.committed();
+        s.fetched = self.frontend.stats().fetched;
+        s.mispredict_stall_cycles = self.frontend.stats().mispredict_stall_cycles;
+        s.branch_lookups = self.bp.stats().lookups;
+        s.branch_correct = self.bp.stats().correct;
+        s.hmp = *self.hmp.stats();
+        s.lrp = self.lrp.stats();
+        s.mem = *self.mem.stats();
+        s.iq = self.iq.stats();
+        s.rob_mean_occupancy = self.rob.mean_occupancy();
+        let lsq = self.lsq.stats();
+        s.loads_issued = lsq.loads_issued;
+        s.stores_written = lsq.stores_written;
+        s.store_forwards = lsq.forwards;
+        s
+    }
+
+    fn schedule(&mut self, at: Cycle, ev: Event) {
+        self.events.entry(at.max(self.now + 1)).or_default().push(ev);
+    }
+
+    /// A producer's completion time became known: broadcast it and wake
+    /// any stores waiting on that value.
+    fn announce(&mut self, tag: InstTag, ready_at: Cycle) {
+        self.iq.announce_ready(tag, ready_at);
+        self.rename.announce(tag, ready_at);
+        self.completion_time.insert(tag, ready_at);
+        if let Some(stores) = self.waiting_stores.remove(&tag) {
+            for st in stores {
+                self.schedule(ready_at, Event::Complete(st));
+            }
+        }
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) {
+        self.now += 1;
+        let now = self.now;
+        self.fus.next_cycle();
+
+        // 1. Deliver timing events due this cycle.
+        if let Some(evs) = self.events.remove(&now) {
+            for ev in evs {
+                match ev {
+                    Event::LoadMiss(tag) => self.iq.on_load_miss(tag),
+                    Event::LoadFill(tag) => self.iq.on_load_fill(tag),
+                    Event::Complete(tag) => self.complete(tag),
+                }
+            }
+        }
+
+        // 2. Advance the queue. "Execution idle" for the §4.5 deadlock
+        // detector means no pending timing event can change queue state
+        // from outside: every in-flight completion, fill and resume is an
+        // entry in `events`, so an empty event queue guarantees that only
+        // the queue itself can make progress.
+        let execution_idle = self.events.is_empty();
+        self.iq.tick(now, execution_idle);
+        self.rob.sample_occupancy();
+
+        // 3. Memory scheduling.
+        for ev in self.lsq.cycle(now, &mut self.mem) {
+            match ev {
+                LsqEvent::LoadResolved {
+                    tag, pc, predicted_hit, completes_at, l1_resolved_at, was_l1_hit, ..
+                } => {
+                    self.announce(tag, completes_at);
+                    self.hmp.update(pc, was_l1_hit);
+                    if self.config.use_hmp {
+                        self.hmp.record_outcome(predicted_hit, was_l1_hit);
+                    }
+                    if !was_l1_hit {
+                        self.schedule(l1_resolved_at, Event::LoadMiss(tag));
+                        // The fill (chain resume) must be delivered before
+                        // the same-cycle writeback releases the chain.
+                        self.schedule(completes_at, Event::LoadFill(tag));
+                    }
+                    self.schedule(completes_at, Event::Complete(tag));
+                }
+                LsqEvent::StoreWritten { .. } => {}
+            }
+        }
+
+        // 4. Issue.
+        for sel in self.iq.select_issue(now, &mut self.fus) {
+            self.rob.mark(sel.tag, RobState::Issued);
+            self.in_flight += 1;
+            match sel.op {
+                OpClass::Load | OpClass::Store => {
+                    // EA available next cycle; the LSQ takes over. Loads
+                    // complete when their access resolves; stores complete
+                    // once both the EA is computed and the data value is
+                    // produced.
+                    self.lsq.ea_computed(sel.tag, now + 1);
+                    if sel.op == OpClass::Store {
+                        match self.store_value_ready_at(sel.tag) {
+                            Some(at) => self.schedule(at.max(now + 1), Event::Complete(sel.tag)),
+                            None => {
+                                let producer = self.store_value[&sel.tag]
+                                    .producer
+                                    .expect("unready store value has a producer");
+                                self.waiting_stores.entry(producer).or_default().push(sel.tag);
+                            }
+                        }
+                    }
+                }
+                OpClass::Branch => {
+                    self.schedule(now + 1, Event::Complete(sel.tag));
+                    if self.redirect_waiting == Some(sel.tag) {
+                        self.redirect_waiting = None;
+                        self.frontend.resume(now + 1);
+                    }
+                }
+                op => {
+                    let ready = now + u64::from(op.exec_latency());
+                    self.announce(sel.tag, ready);
+                    self.schedule(ready, Event::Complete(sel.tag));
+                }
+            }
+        }
+
+        // 5. Dispatch (rename).
+        for _ in 0..self.config.dispatch_width {
+            if !self.rob.has_space() {
+                break;
+            }
+            let Some(fetched) = self.frontend.take_dispatchable(now) else {
+                break;
+            };
+            let inst = fetched.inst;
+            let tag = InstTag(self.next_tag);
+            let mut srcs: Vec<_> = inst.srcs().iter().map(|&r| self.rename.src(r)).collect();
+            // A store's IQ entry is its address generation (base operand
+            // only); the data operand is tracked by the pipeline and
+            // gates completion, not address issue.
+            let mut store_data: Option<SrcOperand> = None;
+            if inst.is_store() && srcs.len() == 2 {
+                store_data = srcs.pop();
+            }
+            let predicted_hit = if inst.is_load() && self.config.use_hmp {
+                self.hmp.predict_hit(inst.pc)
+            } else {
+                false
+            };
+            let lrp_pick = if self.config.use_lrp && srcs.len() == 2 {
+                Some(match self.lrp.predict(inst.pc) {
+                    Operand::Left => OperandPick::Left,
+                    Operand::Right => OperandPick::Right,
+                })
+            } else {
+                None
+            };
+            let info = DispatchInfo {
+                tag,
+                op: inst.op,
+                dest: inst.dest,
+                srcs: [srcs.first().copied(), srcs.get(1).copied()],
+                predicted_hit,
+                lrp_pick,
+                thread: 0,
+            };
+            if self.iq.dispatch(now, info).is_err() {
+                self.frontend.undo_take(fetched);
+                break;
+            }
+            self.next_tag += 1;
+            self.stats.dispatched += 1;
+            if let Some(mem) = inst.mem {
+                self.lsq.push(tag, inst.pc, mem.addr, inst.is_store(), predicted_hit);
+            }
+            if let Some(data) = store_data {
+                self.store_value.insert(tag, data);
+            }
+            if let Some(dest) = inst.dest {
+                self.rename.define(dest, tag);
+            }
+            if fetched.mispredicted {
+                self.redirect_waiting = Some(tag);
+            }
+            self.rob.push(RobEntry {
+                tag,
+                inst,
+                state: RobState::Dispatched,
+                src_producers: [
+                    srcs.first().and_then(|s| s.producer),
+                    srcs.get(1).and_then(|s| s.producer),
+                ],
+            });
+        }
+
+        // 6. Commit.
+        for e in self.rob.commit(self.config.commit_width) {
+            self.rename.retire(e.inst.dest, e.tag);
+            self.lsq.on_commit(e.tag);
+            self.completion_time.remove(&e.tag);
+            self.store_value.remove(&e.tag);
+        }
+
+        // 7. Fetch.
+        self.frontend.fetch(now, &self.config, &mut self.workload, &mut self.bp, &mut self.mem);
+    }
+
+    /// When the data value of store `tag` is (or will be) available, if
+    /// known; `None` when the producer has not announced yet.
+    fn store_value_ready_at(&self, tag: InstTag) -> Option<Cycle> {
+        let Some(data) = self.store_value.get(&tag) else {
+            return Some(self.now + 1); // no data dependence recorded
+        };
+        let Some(producer) = data.producer else {
+            return Some(self.now + 1);
+        };
+        if let Some(t) = self.completion_time.get(&producer) {
+            return Some(*t);
+        }
+        if let Some(t) = data.known_ready_at {
+            return Some(t);
+        }
+        // Producer already committed (and pruned) => the value exists.
+        match self.rob.get(producer) {
+            None => Some(self.now + 1),
+            Some(e) if e.state == RobState::Completed => Some(self.now + 1),
+            _ => None,
+        }
+    }
+
+    /// Writeback of `tag`: completes the ROB entry, releases chains, and
+    /// trains the left/right predictor with the operand that actually
+    /// arrived later.
+    fn complete(&mut self, tag: InstTag) {
+        self.rob.mark(tag, RobState::Completed);
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.iq.on_writeback(tag);
+        // LRP training: which of the two producers finished later?
+        if let Some((pc, [Some(a), Some(b)])) =
+            self.rob.get(tag).map(|e| (e.inst.pc, e.src_producers))
+        {
+            let ta = self.completion_time.get(&a).copied().unwrap_or(0);
+            let tb = self.completion_time.get(&b).copied().unwrap_or(0);
+            let later = if tb > ta { Operand::Right } else { Operand::Left };
+            self.lrp.update(pc, later);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Operation classes and function-unit kinds, with the latencies of the
+//! paper's Table 1.
+
+use std::fmt;
+
+/// The class of a dynamic instruction.
+///
+/// Latencies follow Table 1 of the paper: integer multiply 3, integer
+/// divide 20, all other integer ops 1; FP add/sub 2, FP multiply 4, FP
+/// divide 12, FP square root 24. All operations are fully pipelined
+/// except divide and square root.
+///
+/// Memory operations are split SimpleScalar-style: the instruction-queue
+/// side of a [`Load`](OpClass::Load)/[`Store`](OpClass::Store) is its
+/// *effective-address computation*, a single-cycle integer op; the memory
+/// access itself is handled by the load/store queue and the cache
+/// hierarchy, so `exec_latency` for memory ops is the EA-calc latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation (add, logic, shift, compare).
+    IntAlu,
+    /// Integer multiply (3 cycles, pipelined).
+    IntMul,
+    /// Integer divide (20 cycles, unpipelined).
+    IntDiv,
+    /// FP add/subtract (2 cycles, pipelined).
+    FpAdd,
+    /// FP multiply (4 cycles, pipelined).
+    FpMul,
+    /// FP divide (12 cycles, unpipelined).
+    FpDiv,
+    /// FP square root (24 cycles, unpipelined).
+    FpSqrt,
+    /// Memory load: EA calculation in the IQ, access via the LSQ.
+    Load,
+    /// Memory store: EA calculation in the IQ, access via the LSQ.
+    Store,
+    /// Conditional or unconditional control transfer.
+    Branch,
+}
+
+impl OpClass {
+    /// Every op class, for exhaustive table-driven tests.
+    pub const ALL: [OpClass; 10] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::FpSqrt,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+    ];
+
+    /// Execution latency in cycles on the function unit (Table 1).
+    ///
+    /// For loads and stores this is the effective-address computation
+    /// latency; the memory access latency is determined dynamically by the
+    /// cache hierarchy.
+    #[must_use]
+    pub fn exec_latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu | OpClass::Load | OpClass::Store | OpClass::Branch => 1,
+            OpClass::IntMul => 3,
+            OpClass::IntDiv => 20,
+            OpClass::FpAdd => 2,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 12,
+            OpClass::FpSqrt => 24,
+        }
+    }
+
+    /// Whether the function unit is fully pipelined for this op (Table 1:
+    /// everything except divide and square root).
+    #[must_use]
+    pub fn is_pipelined(self) -> bool {
+        !matches!(self, OpClass::IntDiv | OpClass::FpDiv | OpClass::FpSqrt)
+    }
+
+    /// Which kind of function unit executes this op.
+    #[must_use]
+    pub fn fu_kind(self) -> FuKind {
+        match self {
+            OpClass::IntAlu | OpClass::Branch => FuKind::IntAlu,
+            OpClass::IntMul | OpClass::IntDiv => FuKind::IntMul,
+            OpClass::FpAdd => FuKind::FpAdd,
+            OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt => FuKind::FpMul,
+            // The EA calculation of a memory op runs on an integer ALU;
+            // the cache ports are occupied by the LSQ access itself.
+            OpClass::Load => FuKind::IntAlu,
+            OpClass::Store => FuKind::IntAlu,
+        }
+    }
+
+    /// Returns `true` for loads and stores.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Returns `true` for control-transfer instructions.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        self == OpClass::Branch
+    }
+
+    /// Short assembly-style mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "add",
+            OpClass::IntMul => "mul",
+            OpClass::IntDiv => "div",
+            OpClass::FpAdd => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::FpSqrt => "fsqrt",
+            OpClass::Load => "ld",
+            OpClass::Store => "st",
+            OpClass::Branch => "br",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The kind of function unit an op executes on.
+///
+/// Table 1 provisions eight units of each kind (plus eight data-cache read
+/// ports and eight write ports, modelled by the memory hierarchy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Integer ALU (also executes branches and EA calculations).
+    IntAlu,
+    /// Integer multiply/divide unit.
+    IntMul,
+    /// FP adder.
+    FpAdd,
+    /// FP multiply/divide/sqrt unit.
+    FpMul,
+}
+
+impl FuKind {
+    /// Every function-unit kind.
+    pub const ALL: [FuKind; 4] = [FuKind::IntAlu, FuKind::IntMul, FuKind::FpAdd, FuKind::FpMul];
+
+    /// Dense index, usable for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            FuKind::IntAlu => 0,
+            FuKind::IntMul => 1,
+            FuKind::FpAdd => 2,
+            FuKind::FpMul => 3,
+        }
+    }
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuKind::IntAlu => "int-alu",
+            FuKind::IntMul => "int-mul",
+            FuKind::FpAdd => "fp-add",
+            FuKind::FpMul => "fp-mul",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_latencies() {
+        assert_eq!(OpClass::IntAlu.exec_latency(), 1);
+        assert_eq!(OpClass::IntMul.exec_latency(), 3);
+        assert_eq!(OpClass::IntDiv.exec_latency(), 20);
+        assert_eq!(OpClass::FpAdd.exec_latency(), 2);
+        assert_eq!(OpClass::FpMul.exec_latency(), 4);
+        assert_eq!(OpClass::FpDiv.exec_latency(), 12);
+        assert_eq!(OpClass::FpSqrt.exec_latency(), 24);
+        assert_eq!(OpClass::Load.exec_latency(), 1);
+        assert_eq!(OpClass::Store.exec_latency(), 1);
+        assert_eq!(OpClass::Branch.exec_latency(), 1);
+    }
+
+    #[test]
+    fn only_div_and_sqrt_are_unpipelined() {
+        for op in OpClass::ALL {
+            let expect = !matches!(op, OpClass::IntDiv | OpClass::FpDiv | OpClass::FpSqrt);
+            assert_eq!(op.is_pipelined(), expect, "{op}");
+        }
+    }
+
+    #[test]
+    fn every_op_maps_to_a_unit() {
+        for op in OpClass::ALL {
+            let k = op.fu_kind();
+            assert!(FuKind::ALL.contains(&k));
+        }
+    }
+
+    #[test]
+    fn fu_indices_are_dense_and_unique() {
+        let mut seen = [false; 4];
+        for k in FuKind::ALL {
+            assert!(!seen[k.index()]);
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mem_and_branch_classification() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(OpClass::Branch.is_branch());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(!OpClass::Load.is_branch());
+    }
+}

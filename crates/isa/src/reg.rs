@@ -1,0 +1,150 @@
+//! Architectural register identifiers.
+
+use std::fmt;
+
+/// Number of architectural registers visible to the rename stage.
+///
+/// The namespace is split Alpha-style: indices `0..32` are the integer
+/// registers `r0..r31`, indices `32..64` are the floating-point registers
+/// `f0..f31`.
+pub const NUM_ARCH_REGS: usize = 64;
+
+/// An architectural register name.
+///
+/// `ArchReg` is a dense index into the unified integer + floating-point
+/// namespace, suitable for direct use as a table index (rename map,
+/// register information table).
+///
+/// # Examples
+///
+/// ```
+/// use chainiq_isa::ArchReg;
+///
+/// let r5 = ArchReg::int(5);
+/// let f2 = ArchReg::fp(2);
+/// assert!(r5.is_int());
+/// assert!(!f2.is_int());
+/// assert_ne!(r5.index(), f2.index());
+/// assert_eq!(format!("{r5}"), "r5");
+/// assert_eq!(format!("{f2}"), "f2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Creates the integer register `r<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub fn int(n: u8) -> Self {
+        assert!(n < 32, "integer register index {n} out of range");
+        ArchReg(n)
+    }
+
+    /// Creates the floating-point register `f<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub fn fp(n: u8) -> Self {
+        assert!(n < 32, "fp register index {n} out of range");
+        ArchReg(32 + n)
+    }
+
+    /// Creates a register from its dense index in `0..NUM_ARCH_REGS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_ARCH_REGS`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        assert!(index < NUM_ARCH_REGS, "register index {index} out of range");
+        ArchReg(index as u8)
+    }
+
+    /// Dense index of this register in `0..NUM_ARCH_REGS`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` for integer registers, `false` for floating-point.
+    #[must_use]
+    pub fn is_int(self) -> bool {
+        self.0 < 32
+    }
+
+    /// Iterator over every architectural register.
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        (0..NUM_ARCH_REGS).map(ArchReg::from_index)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_int() {
+            write!(f, "r{}", self.0)
+        } else {
+            write!(f, "f{}", self.0 - 32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_registers_do_not_alias() {
+        for n in 0..32 {
+            assert_ne!(ArchReg::int(n).index(), ArchReg::fp(n).index());
+        }
+    }
+
+    #[test]
+    fn round_trips_through_index() {
+        for reg in ArchReg::all() {
+            assert_eq!(ArchReg::from_index(reg.index()), reg);
+        }
+    }
+
+    #[test]
+    fn all_yields_every_register_once() {
+        let regs: Vec<_> = ArchReg::all().collect();
+        assert_eq!(regs.len(), NUM_ARCH_REGS);
+        let mut seen = [false; NUM_ARCH_REGS];
+        for r in regs {
+            assert!(!seen[r.index()]);
+            seen[r.index()] = true;
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ArchReg::int(0).to_string(), "r0");
+        assert_eq!(ArchReg::int(31).to_string(), "r31");
+        assert_eq!(ArchReg::fp(0).to_string(), "f0");
+        assert_eq!(ArchReg::fp(31).to_string(), "f31");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_register_out_of_range_panics() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_register_out_of_range_panics() {
+        let _ = ArchReg::fp(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_out_of_range_panics() {
+        let _ = ArchReg::from_index(NUM_ARCH_REGS);
+    }
+}

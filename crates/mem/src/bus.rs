@@ -1,0 +1,116 @@
+//! Bandwidth-limited transfer links.
+
+use crate::Cycle;
+
+/// A serializing, bandwidth-limited link (L1↔L2 bus, memory bus).
+///
+/// A transfer of `bytes` occupies the bus for `ceil(bytes /
+/// bytes_per_cycle)` cycles. Transfers serialize: a transfer requested
+/// while the bus is busy starts when the bus frees up. The model is a
+/// simple next-free-time reservation, which is exact for FIFO service.
+///
+/// # Examples
+///
+/// ```
+/// use chainiq_mem::Bus;
+///
+/// // Table 1 memory bus: 8 bytes per CPU cycle.
+/// let mut bus = Bus::new(8);
+/// // A 64-byte line occupies 8 cycles: requested at 100, done at 108.
+/// assert_eq!(bus.transfer(100, 64), 108);
+/// // A back-to-back request at 101 must wait until 108, finishing at 116.
+/// assert_eq!(bus.transfer(101, 64), 116);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bus {
+    bytes_per_cycle: u64,
+    next_free: Cycle,
+    busy_cycles: u64,
+    transfers: u64,
+}
+
+impl Bus {
+    /// Creates a bus carrying `bytes_per_cycle` bytes each cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is zero.
+    #[must_use]
+    pub fn new(bytes_per_cycle: u64) -> Self {
+        assert!(bytes_per_cycle > 0, "bus bandwidth must be positive");
+        Bus { bytes_per_cycle, next_free: 0, busy_cycles: 0, transfers: 0 }
+    }
+
+    /// Reserves the bus for a `bytes`-byte transfer requested at `ready`.
+    /// Returns the cycle at which the transfer completes.
+    pub fn transfer(&mut self, ready: Cycle, bytes: u64) -> Cycle {
+        let start = self.next_free.max(ready);
+        let duration = bytes.div_ceil(self.bytes_per_cycle);
+        self.next_free = start + duration;
+        self.busy_cycles += duration;
+        self.transfers += 1;
+        self.next_free
+    }
+
+    /// Earliest cycle at which a new transfer could start.
+    #[must_use]
+    pub fn next_free(&self) -> Cycle {
+        self.next_free
+    }
+
+    /// Total cycles the bus has been occupied.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Total transfers carried.
+    #[must_use]
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_bus_starts_immediately() {
+        let mut bus = Bus::new(64);
+        assert_eq!(bus.transfer(10, 64), 11);
+    }
+
+    #[test]
+    fn transfers_serialize() {
+        let mut bus = Bus::new(8);
+        let a = bus.transfer(0, 64); // 0..8
+        let b = bus.transfer(0, 64); // 8..16
+        assert_eq!(a, 8);
+        assert_eq!(b, 16);
+        assert_eq!(bus.busy_cycles(), 16);
+        assert_eq!(bus.transfers(), 2);
+    }
+
+    #[test]
+    fn partial_lines_round_up() {
+        let mut bus = Bus::new(8);
+        assert_eq!(bus.transfer(0, 4), 1);
+        assert_eq!(bus.transfer(0, 9), 3); // 2 cycles, starting at 1
+    }
+
+    #[test]
+    fn gap_leaves_bus_idle() {
+        let mut bus = Bus::new(8);
+        bus.transfer(0, 8); // done at 1
+        let done = bus.transfer(100, 8);
+        assert_eq!(done, 101);
+        assert_eq!(bus.busy_cycles(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_panics() {
+        let _ = Bus::new(0);
+    }
+}

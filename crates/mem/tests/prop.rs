@@ -1,0 +1,108 @@
+//! Property tests for the memory hierarchy.
+
+use chainiq_mem::{AccessKind, CacheArray, CacheConfig, Hierarchy, MemConfig, MshrFile, MshrGrant, ServicedBy};
+use proptest::prelude::*;
+
+fn small_mem() -> Hierarchy {
+    // A small hierarchy so random address streams exercise evictions.
+    Hierarchy::new(MemConfig {
+        l1i: CacheConfig { size_bytes: 4 << 10, assoc: 2, line_bytes: 64, latency: 1, mshrs: 4 },
+        l1d: CacheConfig { size_bytes: 4 << 10, assoc: 2, line_bytes: 64, latency: 3, mshrs: 4 },
+        l2: CacheConfig { size_bytes: 32 << 10, assoc: 4, line_bytes: 64, latency: 10, mshrs: 8 },
+        l1_l2_bytes_per_cycle: 64,
+        memory_latency: 100,
+        memory_bytes_per_cycle: 8,
+    })
+}
+
+proptest! {
+    /// Every accepted access completes no earlier than its L1 latency and
+    /// resolves its L1 lookup exactly at the L1 latency.
+    #[test]
+    fn completion_respects_latency(addrs in prop::collection::vec(0u64..1 << 20, 1..200)) {
+        let mut mem = small_mem();
+        let mut now = 0u64;
+        for (i, addr) in addrs.iter().enumerate() {
+            let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            if let Ok(out) = mem.access(now, *addr, kind) {
+                prop_assert_eq!(out.l1_resolved_at, now + 3);
+                prop_assert!(out.completes_at >= now + 3);
+                prop_assert!(out.issued_at == now);
+                if out.serviced_by == ServicedBy::L1 {
+                    prop_assert_eq!(out.completes_at, now + 3);
+                } else {
+                    prop_assert!(out.completes_at > now + 3);
+                }
+            }
+            now += (addr % 7) + 1;
+        }
+    }
+
+    /// Re-accessing an address after its fill landed is always an L1 hit
+    /// (no intervening accesses to evict it).
+    #[test]
+    fn fill_then_hit(addr in 0u64..1 << 30) {
+        let mut mem = small_mem();
+        let out = mem.access(0, addr, AccessKind::Read).unwrap();
+        let again = mem.access(out.completes_at + 1, addr, AccessKind::Read).unwrap();
+        prop_assert_eq!(again.serviced_by, ServicedBy::L1);
+    }
+
+    /// Hierarchy statistics stay consistent: accesses = hits + misses,
+    /// and delayed hits are a subset of L1 misses.
+    #[test]
+    fn stats_consistency(addrs in prop::collection::vec(0u64..1 << 16, 1..300)) {
+        let mut mem = small_mem();
+        let mut accepted = 0u64;
+        for (i, addr) in addrs.into_iter().enumerate() {
+            if mem.access(2 * i as u64, addr, AccessKind::Read).is_ok() {
+                accepted += 1;
+            }
+        }
+        let s = mem.stats();
+        prop_assert_eq!(s.l1d.accesses(), accepted);
+        prop_assert!(s.delayed_hits <= s.l1d.misses);
+        prop_assert!(s.l2.accesses() <= s.l1d.misses, "L2 sees at most one access per L1 miss");
+    }
+
+    /// A cache array never exceeds its capacity and always hits on an
+    /// immediate re-access.
+    #[test]
+    fn cache_array_capacity(addrs in prop::collection::vec(0u64..1 << 16, 1..500)) {
+        let mut c = CacheArray::new(CacheConfig {
+            size_bytes: 2048, assoc: 2, line_bytes: 64, latency: 1, mshrs: 1,
+        });
+        for addr in addrs {
+            c.access(addr, addr % 2 == 0);
+            prop_assert!(c.occupancy() <= 32, "2048/64 = 32 lines max");
+            prop_assert!(c.probe(addr), "just-accessed line must be resident");
+        }
+    }
+
+    /// The MSHR file never tracks more lines than its capacity.
+    #[test]
+    fn mshr_capacity(ops in prop::collection::vec((0u64..64, 1u64..200), 1..200)) {
+        let mut m = MshrFile::new(4);
+        for (now, (line, dur)) in ops.into_iter().enumerate() {
+            let now = now as u64;
+            match m.request(now, line, now + dur) {
+                MshrGrant::Allocated | MshrGrant::Merged { .. } => {}
+                MshrGrant::Exhausted => prop_assert_eq!(m.in_use(now), 4),
+            }
+            prop_assert!(m.in_use(now) <= 4);
+        }
+    }
+
+    /// A merged (delayed-hit) access always completes no later than a
+    /// fresh miss would have.
+    #[test]
+    fn delayed_hit_never_slower_than_fresh_miss(offset in 0u64..63, gap in 1u64..50) {
+        let mut mem = small_mem();
+        let first = mem.access(0, 4096, AccessKind::Read).unwrap();
+        let t = gap.min(first.completes_at.saturating_sub(1));
+        let merged = mem.access(t, 4096 + offset, AccessKind::Read).unwrap();
+        if merged.serviced_by == ServicedBy::DelayedHit {
+            prop_assert!(merged.completes_at <= first.completes_at.max(t + 3));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the predictors: each implementation matches a
+//! simple reference model.
+
+use chainiq_predict::{HitMissPredictor, HybridBranchPredictor, LeftRightPredictor, Operand};
+use proptest::prelude::*;
+
+proptest! {
+    /// The HMP equals the reference "clear-on-miss saturating streak"
+    /// model for any outcome sequence on a single PC.
+    #[test]
+    fn hmp_matches_reference_model(outcomes in prop::collection::vec(any::<bool>(), 1..300)) {
+        let mut hmp = HitMissPredictor::default();
+        let mut streak: u32 = 0; // reference counter, saturating at 15
+        for hit in outcomes {
+            prop_assert_eq!(hmp.peek(0x40), streak > 13, "streak {}", streak);
+            hmp.update(0x40, hit);
+            streak = if hit { (streak + 1).min(15) } else { 0 };
+        }
+    }
+
+    /// HMP statistics never report accuracy or coverage outside [0, 1].
+    #[test]
+    fn hmp_stats_bounded(events in prop::collection::vec((0u64..16, any::<bool>()), 1..300)) {
+        let mut hmp = HitMissPredictor::default();
+        for (pc4, hit) in events {
+            let pc = pc4 * 4;
+            let p = hmp.predict_hit(pc);
+            hmp.record_outcome(p, hit);
+            hmp.update(pc, hit);
+            let s = hmp.stats();
+            prop_assert!((0.0..=1.0).contains(&s.hit_accuracy()));
+            prop_assert!((0.0..=1.0).contains(&s.hit_coverage()));
+            prop_assert!(s.predicted_hit <= s.predictions);
+            prop_assert!(s.predicted_hit_was_hit <= s.predicted_hit);
+        }
+    }
+
+    /// The LRP converges to a stable operand after at most 3 consistent
+    /// updates, from any prior state.
+    #[test]
+    fn lrp_converges(noise in prop::collection::vec(any::<bool>(), 0..20)) {
+        let mut lrp = LeftRightPredictor::default();
+        for later_right in noise {
+            lrp.update(0x80, if later_right { Operand::Right } else { Operand::Left });
+        }
+        for _ in 0..3 {
+            lrp.update(0x80, Operand::Right);
+        }
+        prop_assert_eq!(lrp.peek(0x80), Operand::Right);
+    }
+
+    /// The branch predictor's accuracy statistics are consistent and the
+    /// prediction for an always-taken branch converges.
+    #[test]
+    fn branch_predictor_stats_consistent(
+        outcomes in prop::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut bp = HybridBranchPredictor::default();
+        for taken in outcomes {
+            bp.predict_and_train(0x1000, taken, 0x2000);
+            let s = bp.stats();
+            prop_assert!(s.correct <= s.lookups);
+        }
+        // Saturate with taken outcomes; the last prediction must be
+        // correct.
+        let mut last = false;
+        for _ in 0..64 {
+            last = bp.predict_and_train(0x1000, true, 0x2000).is_correct(true, 0x2000);
+        }
+        prop_assert!(last, "predictor must converge on an always-taken branch");
+    }
+
+    /// Unconditional transfers are mispredicted at most once per target
+    /// change (BTB fill).
+    #[test]
+    fn unconditional_misses_only_on_cold_btb(targets in prop::collection::vec(1u64..8, 1..60)) {
+        let mut bp = HybridBranchPredictor::default();
+        let mut last_target = None;
+        for t in targets {
+            let target = 0x1000 * t;
+            let pred = bp.predict_and_train_unconditional(0x4000, target);
+            if last_target == Some(target) {
+                prop_assert!(pred.is_correct(true, target), "warm BTB must hit");
+            }
+            last_target = Some(target);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the synthetic workload generators.
+
+use chainiq_workload::{Bench, KernelSpec, Phase, Profile, SyntheticWorkload};
+use proptest::prelude::*;
+
+fn kernel_strategy() -> impl Strategy<Value = KernelSpec> {
+    prop_oneof![
+        (1u8..4, 1u64..8, 0u8..4, any::<bool>()).prop_map(|(arrays, ws_kb, fp_ops, store)| {
+            KernelSpec::Stream {
+                arrays,
+                working_set: ws_kb << 12,
+                stride: 8,
+                fp_ops,
+                store,
+            }
+        }),
+        (1u8..5, 1u64..8, 0u8..4).prop_map(|(taps, ws_kb, fp_ops)| KernelSpec::Stencil {
+            taps,
+            working_set: ws_kb << 10,
+            fp_ops,
+        }),
+        (1u64..8, any::<bool>()).prop_map(|(ws_kb, fp_mul)| KernelSpec::Reduction {
+            working_set: ws_kb << 10,
+            fp_mul,
+        }),
+        (16u64..512, 0u8..4).prop_map(|(nodes, work)| KernelSpec::PointerChase {
+            nodes,
+            node_bytes: 64,
+            work_per_hop: work,
+        }),
+        (1u64..64, 0u8..4).prop_map(|(tab_kb, fp_ops)| KernelSpec::Gather {
+            table_bytes: tab_kb << 12,
+            index_bytes: 1 << 10,
+            fp_ops,
+        }),
+        (0.0f64..1.0, 0.0f64..1.0, 0u8..5, 1u64..32).prop_map(
+            |(taken_prob, random_frac, work, ws_kb)| KernelSpec::Branchy {
+                taken_prob,
+                random_frac,
+                work,
+                working_set: ws_kb << 10,
+            }
+        ),
+    ]
+}
+
+fn profile_strategy() -> impl Strategy<Value = Profile> {
+    prop::collection::vec((kernel_strategy(), 1u32..64, 1u32..4), 1..4).prop_map(|phases| {
+        Profile::new(
+            "prop",
+            phases
+                .into_iter()
+                .map(|(kernel, burst_iterations, weight)| Phase { kernel, burst_iterations, weight })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any profile produces an endless, well-formed stream: every
+    /// instruction has consistent operands, memory ops carry addresses,
+    /// branches carry outcomes.
+    #[test]
+    fn arbitrary_profiles_generate_well_formed_streams(profile in profile_strategy(), seed: u64) {
+        let mut w = SyntheticWorkload::from_profile(profile, seed);
+        for inst in w.by_ref().take(3000) {
+            prop_assert!(inst.num_srcs() <= 2);
+            if inst.is_load() {
+                prop_assert!(inst.mem.is_some());
+                prop_assert!(inst.dest.is_some());
+            }
+            if inst.is_store() {
+                prop_assert!(inst.mem.is_some());
+                prop_assert!(inst.dest.is_none());
+            }
+            if inst.is_branch() {
+                prop_assert!(inst.branch.is_some());
+                prop_assert!(inst.dest.is_none());
+            }
+            prop_assert!(inst.pc >= 0x1000_0000, "PCs live in the code region");
+            if let Some(m) = inst.mem {
+                prop_assert!(m.addr >= 0x4000_0000, "data lives in the data region");
+            }
+        }
+        prop_assert_eq!(w.emitted(), 3000);
+    }
+
+    /// Streams are a pure function of (profile, seed).
+    #[test]
+    fn streams_are_deterministic(profile in profile_strategy(), seed: u64) {
+        let a: Vec<_> =
+            SyntheticWorkload::from_profile(profile.clone(), seed).take(1500).collect();
+        let b: Vec<_> = SyntheticWorkload::from_profile(profile, seed).take(1500).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Static PCs repeat: the dynamic stream reuses a bounded set of
+    /// instruction addresses (a real program's static image), which the
+    /// PC-indexed predictors rely on.
+    #[test]
+    fn static_code_footprint_is_bounded(profile in profile_strategy(), seed: u64) {
+        let pcs: std::collections::HashSet<u64> = SyntheticWorkload::from_profile(profile, seed)
+            .take(5000)
+            .map(|i| i.pc)
+            .collect();
+        prop_assert!(pcs.len() < 400, "static footprint {} too large", pcs.len());
+    }
+
+    /// The standard benchmarks yield instruction mixes inside sane
+    /// architectural bounds for any seed.
+    #[test]
+    fn bench_mixes_bounded_for_any_seed(seed: u64) {
+        for b in Bench::ALL {
+            let mut loads = 0u32;
+            let mut branches = 0u32;
+            let n = 4000;
+            for inst in SyntheticWorkload::from_profile(b.profile(), seed).take(n) {
+                loads += u32::from(inst.is_load());
+                branches += u32::from(inst.is_branch());
+            }
+            let lf = f64::from(loads) / n as f64;
+            let bf = f64::from(branches) / n as f64;
+            prop_assert!((0.05..0.6).contains(&lf), "{b}: load fraction {lf}");
+            prop_assert!((0.02..0.45).contains(&bf), "{b}: branch fraction {bf}");
+        }
+    }
+}

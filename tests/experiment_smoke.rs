@@ -1,0 +1,143 @@
+//! Fast, directional versions of the paper's headline experimental
+//! claims — the same comparisons the `chainiq-bench` binaries print at
+//! full scale, checked at small scale so CI guards the result shapes.
+
+use chainiq::{run_one, Bench, IqKind, PrescheduleConfig, SegmentedIqConfig};
+
+const SAMPLE: u64 = 20_000;
+const SEED: u64 = 20020525;
+
+fn seg(entries: usize, chains: Option<usize>) -> IqKind {
+    IqKind::Segmented(SegmentedIqConfig::paper(entries, chains))
+}
+
+/// Figure 2, column structure: a 512-entry segmented queue retains most
+/// of the ideal queue's performance.
+#[test]
+fn fig2_segmented_within_band_of_ideal() {
+    let mut ratios = Vec::new();
+    for bench in [Bench::Mgrid, Bench::Swim, Bench::Vortex] {
+        let ideal = run_one(bench.profile(), IqKind::Ideal(512), false, false, SAMPLE, SEED);
+        let s = run_one(bench.profile(), seg(512, None), false, false, SAMPLE, SEED);
+        let ratio = s.ipc() / ideal.ipc();
+        assert!((0.4..=1.02).contains(&ratio), "{bench}: ratio {ratio:.2} out of band");
+        ratios.push(ratio);
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(avg > 0.6, "average retention {avg:.2} too low");
+}
+
+/// Figure 2: swim starves on 64 chain wires in the base configuration,
+/// and the left/right predictor recovers much of the loss.
+#[test]
+fn fig2_swim_is_chain_starved_and_lrp_recovers() {
+    let unlimited = run_one(Bench::Swim.profile(), seg(512, None), false, false, SAMPLE, SEED);
+    let starved = run_one(Bench::Swim.profile(), seg(512, Some(64)), false, false, SAMPLE, SEED);
+    let lrp = run_one(Bench::Swim.profile(), seg(512, Some(64)), false, true, SAMPLE, SEED);
+    assert!(
+        starved.ipc() < 0.8 * unlimited.ipc(),
+        "64 wires must hurt swim: {} vs {}",
+        starved.ipc(),
+        unlimited.ipc()
+    );
+    assert!(
+        lrp.ipc() > 1.15 * starved.ipc(),
+        "LRP must recover chain-starved swim: {} vs {}",
+        lrp.ipc(),
+        starved.ipc()
+    );
+}
+
+/// Table 2: the left/right predictor reduces chain usage by roughly half
+/// (the paper reports 58% on average).
+#[test]
+fn table2_lrp_halves_chain_usage() {
+    let base = run_one(Bench::Swim.profile(), seg(512, None), false, false, SAMPLE, SEED);
+    let lrp = run_one(Bench::Swim.profile(), seg(512, None), false, true, SAMPLE, SEED);
+    let b = base.segmented.unwrap().chains.mean_live();
+    let l = lrp.segmented.unwrap().chains.mean_live();
+    assert!(l < 0.6 * b, "LRP should cut swim's chain usage roughly in half: {l:.0} vs {b:.0}");
+}
+
+/// Table 2 / §4.4: the hit/miss predictor suppresses chains where loads
+/// hit (mgrid), and cannot help where they all miss (swim).
+#[test]
+fn table2_hmp_suppresses_hit_load_chains() {
+    let mgrid_base = run_one(Bench::Mgrid.profile(), seg(512, None), false, false, SAMPLE, SEED);
+    let mgrid_hmp = run_one(Bench::Mgrid.profile(), seg(512, None), true, false, SAMPLE, SEED);
+    let mb = mgrid_base.segmented.unwrap().chains.mean_live();
+    let mh = mgrid_hmp.segmented.unwrap().chains.mean_live();
+    assert!(mh < 0.85 * mb, "HMP should cut mgrid chains: {mh:.0} vs {mb:.0}");
+
+    let swim_base = run_one(Bench::Swim.profile(), seg(512, None), false, false, SAMPLE, SEED);
+    let swim_hmp = run_one(Bench::Swim.profile(), seg(512, None), true, false, SAMPLE, SEED);
+    let sb = swim_base.segmented.unwrap().chains.mean_live();
+    let sh = swim_hmp.segmented.unwrap().chains.mean_live();
+    assert!(
+        sh > 0.9 * sb,
+        "swim's loads all miss, so the HMP must not change its chains: {sh:.0} vs {sb:.0}"
+    );
+}
+
+/// §6.1: the HMP predicts hits with high accuracy and good coverage.
+#[test]
+fn s1_hmp_accuracy_and_coverage() {
+    let r = run_one(Bench::Mgrid.profile(), seg(512, None), true, false, SAMPLE, SEED);
+    assert!(r.stats.hmp.hit_accuracy() > 0.9, "accuracy {:.3}", r.stats.hmp.hit_accuracy());
+    assert!(r.stats.hmp.hit_coverage() > 0.7, "coverage {:.3}", r.stats.hmp.hit_coverage());
+}
+
+/// Figure 3: gcc gains little from window scaling (its useful window is
+/// misprediction-bound), while swim gains a lot.
+#[test]
+fn fig3_gcc_flat_swim_steep() {
+    let gcc_small = run_one(Bench::Gcc.profile(), IqKind::Ideal(32), false, false, SAMPLE, SEED);
+    let gcc_big = run_one(Bench::Gcc.profile(), IqKind::Ideal(512), false, false, SAMPLE, SEED);
+    let swim_small = run_one(Bench::Swim.profile(), IqKind::Ideal(32), false, false, SAMPLE, SEED);
+    let swim_big = run_one(Bench::Swim.profile(), IqKind::Ideal(512), false, false, SAMPLE, SEED);
+    let gcc_gain = gcc_big.ipc() / gcc_small.ipc();
+    let swim_gain = swim_big.ipc() / swim_small.ipc();
+    assert!(gcc_gain < 1.6, "gcc should be nearly flat, gain {gcc_gain:.2}");
+    assert!(swim_gain > 2.0, "swim should scale steeply, gain {swim_gain:.2}");
+    assert!(swim_gain > gcc_gain * 1.5);
+}
+
+/// Figure 3: the prescheduling scheme barely improves with array size
+/// (vortex excepted in the paper), while the segmented queue keeps
+/// scaling.
+#[test]
+fn fig3_prescheduled_flat_segmented_scales() {
+    let p_small = run_one(
+        Bench::Swim.profile(),
+        IqKind::Prescheduled(PrescheduleConfig::paper(8)),
+        false,
+        false,
+        SAMPLE,
+        SEED,
+    );
+    let p_big = run_one(
+        Bench::Swim.profile(),
+        IqKind::Prescheduled(PrescheduleConfig::paper(120)),
+        false,
+        false,
+        SAMPLE,
+        SEED,
+    );
+    let s_big = run_one(Bench::Swim.profile(), seg(512, Some(128)), true, true, SAMPLE, SEED);
+    let presched_gain = p_big.ipc() / p_small.ipc();
+    assert!(presched_gain < 1.4, "prescheduling shouldn't scale much: {presched_gain:.2}");
+    assert!(
+        s_big.ipc() > 1.4 * p_big.ipc(),
+        "the 512-entry segmented queue must outrun the largest prescheduling array: {} vs {}",
+        s_big.ipc(),
+        p_big.ipc()
+    );
+}
+
+/// §4.5: deadlock recovery engages rarely in sane configurations.
+#[test]
+fn s2_deadlock_recovery_is_rare() {
+    let r = run_one(Bench::Applu.profile(), seg(512, Some(128)), true, true, SAMPLE, SEED);
+    let frac = r.segmented.unwrap().deadlock_cycle_frac();
+    assert!(frac < 0.05, "deadlock recovery in {:.2}% of cycles", 100.0 * frac);
+}

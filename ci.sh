@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Canonical verification for chainiq. The workspace is hermetic: it has
+# zero crates.io dependencies, so everything here must succeed against an
+# empty registry — hence --offline on every cargo invocation. If a step
+# fails under --offline but passes without it, a registry dependency has
+# crept back in; see DESIGN.md §7.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "ci.sh: all checks passed"

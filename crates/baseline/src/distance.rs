@@ -321,7 +321,11 @@ mod tests {
     }
 
     fn dep(reg: u8, producer: u64) -> SrcOperand {
-        SrcOperand { reg: ArchReg::int(reg), producer: Some(InstTag(producer)), known_ready_at: None }
+        SrcOperand {
+            reg: ArchReg::int(reg),
+            producer: Some(InstTag(producer)),
+            known_ready_at: None,
+        }
     }
 
     #[test]
@@ -348,8 +352,11 @@ mod tests {
         // real latency is unknown until it resolves).
         iq.dispatch(0, DispatchInfo::load(InstTag(0), ArchReg::int(1), ready_src(9), false))
             .unwrap();
-        iq.dispatch(0, DispatchInfo::compute(InstTag(1), OpClass::IntAlu, ArchReg::int(2), &[dep(1, 0)]))
-            .unwrap();
+        iq.dispatch(
+            0,
+            DispatchInfo::compute(InstTag(1), OpClass::IntAlu, ArchReg::int(2), &[dep(1, 0)]),
+        )
+        .unwrap();
         assert_eq!(iq.waiting(), 1, "the consumer waits for the load's real latency");
         // The load issues; pretend it missed and resolves at cycle 40.
         iq.tick(1, false);

@@ -133,15 +133,22 @@ mod tests {
     use chainiq_isa::ArchReg;
 
     fn dep(reg: u8, producer: u64) -> SrcOperand {
-        SrcOperand { reg: ArchReg::int(reg), producer: Some(InstTag(producer)), known_ready_at: None }
+        SrcOperand {
+            reg: ArchReg::int(reg),
+            producer: Some(InstTag(producer)),
+            known_ready_at: None,
+        }
     }
 
     #[test]
     fn issues_oldest_first_up_to_width() {
         let mut iq = IdealIq::new(64);
         for i in 0..12u64 {
-            iq.dispatch(0, DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]))
-                .unwrap();
+            iq.dispatch(
+                0,
+                DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]),
+            )
+            .unwrap();
         }
         let mut fus = FuPool::table1();
         iq.tick(1, false);
@@ -174,11 +181,17 @@ mod tests {
     fn full_queue_stalls_dispatch() {
         let mut iq = IdealIq::new(2);
         for i in 0..2u64 {
-            iq.dispatch(0, DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]))
-                .unwrap();
+            iq.dispatch(
+                0,
+                DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]),
+            )
+            .unwrap();
         }
         assert_eq!(
-            iq.dispatch(0, DispatchInfo::compute(InstTag(9), OpClass::IntAlu, ArchReg::int(1), &[])),
+            iq.dispatch(
+                0,
+                DispatchInfo::compute(InstTag(9), OpClass::IntAlu, ArchReg::int(1), &[])
+            ),
             Err(DispatchStall::QueueFull)
         );
         assert_eq!(iq.stats().stalls_full, 1);

@@ -214,8 +214,7 @@ impl IssueQueue for PrescheduledIq {
                 .filter(|(_, _, i)| !self.entries[*i].in_buffer())
                 .map(|(_, tag, i)| (*tag, *i))
                 .min();
-            let buffer_has_ready =
-                self.entries.iter().any(|e| e.in_buffer() && e.ready(now));
+            let buffer_has_ready = self.entries.iter().any(|e| e.in_buffer() && e.ready(now));
             if let Some((due_tag, due_idx)) = oldest_due {
                 let youngest_buf = self
                     .entries
@@ -344,7 +343,11 @@ mod tests {
     }
 
     fn dep(reg: u8, producer: u64) -> SrcOperand {
-        SrcOperand { reg: ArchReg::int(reg), producer: Some(InstTag(producer)), known_ready_at: None }
+        SrcOperand {
+            reg: ArchReg::int(reg),
+            producer: Some(InstTag(producer)),
+            known_ready_at: None,
+        }
     }
 
     #[test]
@@ -373,8 +376,11 @@ mod tests {
         let mut iq = PrescheduledIq::new(PrescheduleConfig::paper(8));
         iq.dispatch(0, DispatchInfo::load(InstTag(0), ArchReg::int(1), ready_src(9), false))
             .unwrap();
-        iq.dispatch(0, DispatchInfo::compute(InstTag(1), OpClass::IntAlu, ArchReg::int(2), &[dep(1, 0)]))
-            .unwrap();
+        iq.dispatch(
+            0,
+            DispatchInfo::compute(InstTag(1), OpClass::IntAlu, ArchReg::int(2), &[dep(1, 0)]),
+        )
+        .unwrap();
         let load_row = iq.entries[0].scheduled_at;
         let dep_row = iq.entries[1].scheduled_at;
         assert_eq!(dep_row, load_row + 4, "consumer sits a predicted load latency behind");
@@ -408,8 +414,11 @@ mod tests {
     fn full_row_spills_to_next() {
         let mut iq = PrescheduledIq::new(PrescheduleConfig::paper(8));
         for i in 0..15u64 {
-            iq.dispatch(0, DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]))
-                .unwrap();
+            iq.dispatch(
+                0,
+                DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]),
+            )
+            .unwrap();
         }
         let first_row = iq.entries[0].scheduled_at;
         let spilled = iq.entries.iter().filter(|e| e.scheduled_at == first_row + 1).count();
@@ -418,27 +427,46 @@ mod tests {
 
     #[test]
     fn capacity_exhaustion_stalls_dispatch() {
-        let cfg = PrescheduleConfig { issue_buffer_size: 4, num_lines: 2, line_width: 2, predicted_load_latency: 4 };
+        let cfg = PrescheduleConfig {
+            issue_buffer_size: 4,
+            num_lines: 2,
+            line_width: 2,
+            predicted_load_latency: 4,
+        };
         let mut iq = PrescheduledIq::new(cfg);
         for i in 0..4u64 {
-            iq.dispatch(0, DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]))
-                .unwrap();
+            iq.dispatch(
+                0,
+                DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]),
+            )
+            .unwrap();
         }
         assert_eq!(
-            iq.dispatch(0, DispatchInfo::compute(InstTag(9), OpClass::IntAlu, ArchReg::int(1), &[])),
+            iq.dispatch(
+                0,
+                DispatchInfo::compute(InstTag(9), OpClass::IntAlu, ArchReg::int(1), &[])
+            ),
             Err(DispatchStall::QueueFull)
         );
     }
 
     #[test]
     fn full_buffer_stalls_the_drain() {
-        let cfg = PrescheduleConfig { issue_buffer_size: 2, num_lines: 4, line_width: 2, predicted_load_latency: 4 };
+        let cfg = PrescheduleConfig {
+            issue_buffer_size: 2,
+            num_lines: 4,
+            line_width: 2,
+            predicted_load_latency: 4,
+        };
         let mut iq = PrescheduledIq::new(cfg);
         // Two unready instructions (producer never announced) fill the
         // buffer; a third must wait in the array.
         for i in 0..3u64 {
-            iq.dispatch(0, DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(2), &[dep(1, 99)]))
-                .unwrap();
+            iq.dispatch(
+                0,
+                DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(2), &[dep(1, 99)]),
+            )
+            .unwrap();
         }
         iq.tick(1, false);
         assert_eq!(iq.buffer_len(), 2);
@@ -451,15 +479,26 @@ mod tests {
     #[test]
     fn recirculation_prevents_wedge_when_consumer_precedes_producer() {
         // Tiny buffer; consumers mis-scheduled ahead of their producer.
-        let cfg = PrescheduleConfig { issue_buffer_size: 2, num_lines: 8, line_width: 2, predicted_load_latency: 4 };
+        let cfg = PrescheduleConfig {
+            issue_buffer_size: 2,
+            num_lines: 8,
+            line_width: 2,
+            predicted_load_latency: 4,
+        };
         let mut iq = PrescheduledIq::new(cfg);
         let mut fus = FuPool::table1();
         // Producer announced late; consumers placed early by the (bogus)
         // timing table state.
-        iq.dispatch(0, DispatchInfo::compute(InstTag(5), OpClass::IntAlu, ArchReg::int(3), &[dep(2, 9)]))
-            .unwrap();
-        iq.dispatch(0, DispatchInfo::compute(InstTag(6), OpClass::IntAlu, ArchReg::int(4), &[dep(2, 9)]))
-            .unwrap();
+        iq.dispatch(
+            0,
+            DispatchInfo::compute(InstTag(5), OpClass::IntAlu, ArchReg::int(3), &[dep(2, 9)]),
+        )
+        .unwrap();
+        iq.dispatch(
+            0,
+            DispatchInfo::compute(InstTag(6), OpClass::IntAlu, ArchReg::int(4), &[dep(2, 9)]),
+        )
+        .unwrap();
         // An *older* ready instruction arrives afterwards (e.g. replayed).
         iq.dispatch(0, DispatchInfo::compute(InstTag(1), OpClass::IntAlu, ArchReg::int(5), &[]))
             .unwrap();

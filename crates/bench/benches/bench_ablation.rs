@@ -2,8 +2,7 @@
 //! effect of the same toggles is printed by `--bin ablate`).
 
 use chainiq::{run_one, Bench, IqKind, SegmentedIqConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use chainiq_bench::BenchRunner;
 
 const INSTS: u64 = 8_000;
 
@@ -26,21 +25,12 @@ fn configs() -> Vec<(&'static str, SegmentedIqConfig)> {
     ]
 }
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_sim_cost");
-    group.sample_size(10);
+fn main() {
+    let mut r = BenchRunner::new("ablation_sim_cost");
     for (label, cfg) in configs() {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, &cfg| {
-            b.iter(|| {
-                black_box(
-                    run_one(Bench::Mgrid.profile(), IqKind::Segmented(cfg), true, true, INSTS, 7)
-                        .ipc(),
-                )
-            });
+        r.bench_throughput(label, INSTS, || {
+            run_one(Bench::Mgrid.profile(), IqKind::Segmented(cfg), true, true, INSTS, 7).ipc()
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -2,30 +2,21 @@
 //! for each queue design on one representative benchmark.
 
 use chainiq::{run_one, Bench, IqKind, PrescheduleConfig, SegmentedIqConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+use chainiq_bench::BenchRunner;
 
 const INSTS: u64 = 10_000;
 
-fn bench_e2e(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline_e2e");
-    group.throughput(Throughput::Elements(INSTS));
-    group.sample_size(10);
-
+fn main() {
+    let mut r = BenchRunner::new("pipeline_e2e");
     let kinds: Vec<(&str, IqKind)> = vec![
         ("ideal-512", IqKind::Ideal(512)),
         ("segmented-512-128ch", IqKind::Segmented(SegmentedIqConfig::paper(512, Some(128)))),
         ("prescheduled-320", IqKind::Prescheduled(PrescheduleConfig::paper(24))),
     ];
     for (label, kind) in kinds {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
-            b.iter(|| {
-                black_box(run_one(Bench::Equake.profile(), kind, true, true, INSTS, 7).ipc())
-            });
+        r.bench_throughput(label, INSTS, || {
+            run_one(Bench::Equake.profile(), kind, true, true, INSTS, 7).ipc()
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_e2e);
-criterion_main!(benches);

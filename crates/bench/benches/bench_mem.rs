@@ -2,8 +2,9 @@
 //! address streams.
 
 use chainiq::mem::{AccessKind, Hierarchy, MemConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use chainiq_bench::BenchRunner;
+
+const ACCESSES: u64 = 4096;
 
 fn run_stream(addrs: &[u64]) -> u64 {
     let mut mem = Hierarchy::new(MemConfig::default());
@@ -16,24 +17,21 @@ fn run_stream(addrs: &[u64]) -> u64 {
     done
 }
 
-fn bench_mem(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hierarchy");
+fn main() {
+    let mut r = BenchRunner::new("hierarchy");
 
     // Resident set: pure L1 hits after warmup.
-    let hits: Vec<u64> = (0..4096u64).map(|i| (i * 8) % 4096).collect();
-    group.bench_function("l1_hits", |b| b.iter(|| black_box(run_stream(&hits))));
+    let hits: Vec<u64> = (0..ACCESSES).map(|i| (i * 8) % 4096).collect();
+    r.bench_throughput("l1_hits", ACCESSES, || run_stream(&hits));
 
     // Line-stride sweep: every access a primary L2/memory miss.
-    let misses: Vec<u64> = (0..4096u64).map(|i| i * 64 * 33).collect();
-    group.bench_function("memory_misses", |b| b.iter(|| black_box(run_stream(&misses))));
+    let misses: Vec<u64> = (0..ACCESSES).map(|i| i * 64 * 33).collect();
+    r.bench_throughput("memory_misses", ACCESSES, || run_stream(&misses));
 
     // Word-stride sweep of a huge array: one primary miss plus seven
     // delayed hits per line (the swim pattern).
-    let delayed: Vec<u64> = (0..4096u64).map(|i| i * 8 + (1 << 24)).collect();
-    group.bench_function("delayed_hits", |b| b.iter(|| black_box(run_stream(&delayed))));
+    let delayed: Vec<u64> = (0..ACCESSES).map(|i| i * 8 + (1 << 24)).collect();
+    r.bench_throughput("delayed_hits", ACCESSES, || run_stream(&delayed));
 
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_mem);
-criterion_main!(benches);

@@ -6,10 +6,13 @@
 //! are caught. The hardware argument is encoded in the design: wakeup
 //! and select touch one 32-entry segment, never the whole queue.)
 
-use chainiq::core::{DispatchInfo, FuPool, InstTag, IssueQueue, SegmentedIq, SegmentedIqConfig, SrcOperand};
+use chainiq::core::{
+    DispatchInfo, FuPool, InstTag, IssueQueue, SegmentedIq, SegmentedIqConfig, SrcOperand,
+};
 use chainiq::{ArchReg, IdealIq, OpClass, PrescheduleConfig, PrescheduledIq};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use chainiq_bench::BenchRunner;
+
+const CYCLES: u64 = 2_000;
 
 /// Runs `cycles` simulated cycles with a steady dispatch stream keeping
 /// the queue about half full.
@@ -41,8 +44,7 @@ fn churn(iq: &mut dyn IssueQueue, cycles: u64) -> u64 {
                 }]
             };
             let op = if lane == 3 { OpClass::FpMul } else { OpClass::IntAlu };
-            let info =
-                DispatchInfo::compute(tag, op, ArchReg::int((next_tag % 24) as u8), &srcs);
+            let info = DispatchInfo::compute(tag, op, ArchReg::int((next_tag % 24) as u8), &srcs);
             if iq.dispatch(now, info).is_ok() {
                 next_tag += 1;
             }
@@ -51,30 +53,21 @@ fn churn(iq: &mut dyn IssueQueue, cycles: u64) -> u64 {
     issued
 }
 
-fn bench_queues(c: &mut Criterion) {
-    let mut group = c.benchmark_group("iq_cycle_cost");
+fn main() {
+    let mut r = BenchRunner::new("iq_cycle_cost");
     for entries in [64usize, 256, 512] {
-        group.bench_with_input(BenchmarkId::new("segmented", entries), &entries, |b, &n| {
-            b.iter(|| {
-                let mut iq = SegmentedIq::new(SegmentedIqConfig::paper(n, Some(128)));
-                black_box(churn(&mut iq, 2_000))
-            });
+        r.bench_throughput(format!("segmented/{entries}"), CYCLES, || {
+            let mut iq = SegmentedIq::new(SegmentedIqConfig::paper(entries, Some(128)));
+            churn(&mut iq, CYCLES)
         });
-        group.bench_with_input(BenchmarkId::new("ideal", entries), &entries, |b, &n| {
-            b.iter(|| {
-                let mut iq = IdealIq::new(n);
-                black_box(churn(&mut iq, 2_000))
-            });
+        r.bench_throughput(format!("ideal/{entries}"), CYCLES, || {
+            let mut iq = IdealIq::new(entries);
+            churn(&mut iq, CYCLES)
         });
     }
-    group.bench_function("prescheduled-320", |b| {
-        b.iter(|| {
-            let mut iq = PrescheduledIq::new(PrescheduleConfig::paper(24));
-            black_box(churn(&mut iq, 2_000))
-        });
+    r.bench_throughput("prescheduled-320", CYCLES, || {
+        let mut iq = PrescheduledIq::new(PrescheduleConfig::paper(24));
+        churn(&mut iq, CYCLES)
     });
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_queues);
-criterion_main!(benches);

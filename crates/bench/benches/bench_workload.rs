@@ -2,21 +2,17 @@
 //! profile.
 
 use chainiq::{Bench, SyntheticWorkload};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use chainiq_bench::BenchRunner;
 
-fn bench_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload_gen");
+const INSTS: u64 = 20_000;
+
+fn main() {
+    let mut r = BenchRunner::new("workload_gen");
     for bench in [Bench::Swim, Bench::Gcc, Bench::Equake] {
-        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &bench, |b, &bench| {
-            b.iter(|| {
-                let w = SyntheticWorkload::from_profile(bench.profile(), 7);
-                black_box(w.take(20_000).filter(|i| i.is_load()).count())
-            });
+        r.bench_throughput(bench.name(), INSTS, || {
+            let w = SyntheticWorkload::from_profile(bench.profile(), 7);
+            w.take(INSTS as usize).filter(|i| i.is_load()).count()
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_generators);
-criterion_main!(benches);

@@ -46,7 +46,8 @@ fn main() {
         let mut cells = vec![bench.name().to_string()];
         let mut full_ipc = 0.0;
         for (i, (_, cfg)) in variants().into_iter().enumerate() {
-            let r = run_one(bench.profile(), IqKind::Segmented(cfg), true, true, sample, DEFAULT_SEED);
+            let r =
+                run_one(bench.profile(), IqKind::Segmented(cfg), true, true, sample, DEFAULT_SEED);
             if i == 0 {
                 full_ipc = r.ipc();
                 cells.push(format!("{:.3}", full_ipc));

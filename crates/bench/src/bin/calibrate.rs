@@ -9,8 +9,16 @@ fn main() {
     let sample = sample_size();
     println!("chainiq calibration — {sample} committed instructions per run\n");
     let mut t = TextTable::new(&[
-        "bench", "ipc@32", "ipc@512", "seg512/ideal", "bp-acc", "l1d-miss", "l2-miss", "iq-occ",
-        "rob-occ", "br-frac",
+        "bench",
+        "ipc@32",
+        "ipc@512",
+        "seg512/ideal",
+        "bp-acc",
+        "l1d-miss",
+        "l2-miss",
+        "iq-occ",
+        "rob-occ",
+        "br-frac",
     ]);
     for bench in Bench::ALL {
         let small = run(bench, ideal(32), PredictorConfig::Base, sample);

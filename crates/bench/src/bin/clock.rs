@@ -31,10 +31,15 @@ fn main() {
     println!();
 
     let mut t = TextTable::new(&[
-        "bench", "mono-32 BIPS", "mono-512 BIPS", "seg-512 BIPS", "seg-512/best-mono",
+        "bench",
+        "mono-32 BIPS",
+        "mono-512 BIPS",
+        "seg-512 BIPS",
+        "seg-512/best-mono",
     ]);
     let mut wins = 0usize;
-    for bench in [Bench::Swim, Bench::Mgrid, Bench::Equake, Bench::Applu, Bench::Vortex, Bench::Gcc] {
+    for bench in [Bench::Swim, Bench::Mgrid, Bench::Equake, Bench::Applu, Bench::Vortex, Bench::Gcc]
+    {
         let mono32 = run(bench, ideal(32), PredictorConfig::Base, sample);
         let mono512 = run(bench, ideal(512), PredictorConfig::Base, sample);
         let seg512 = run(bench, segmented(512, Some(128)), PredictorConfig::Comb, sample);

@@ -16,9 +16,7 @@ fn main() {
     let chain_configs: [(Option<usize>, &str); 3] =
         [(None, "unlimited"), (Some(128), "128 chains"), (Some(64), "64 chains")];
 
-    let mut t = TextTable::new(&[
-        "bench", "chains", "base", "hmp", "lrp", "comb",
-    ]);
+    let mut t = TextTable::new(&["bench", "chains", "base", "hmp", "lrp", "comb"]);
     // rel[chain_cfg][pred] summed across benchmarks for the average rows.
     let mut sums = [[0.0f64; 4]; 3];
     let mut deadlock_frac_max: f64 = 0.0;

@@ -22,7 +22,10 @@ fn main() {
 
         let mut row = vec!["ideal".to_string()];
         for size in SIZES {
-            row.push(format!("{:.3}", run(bench, ideal(size), PredictorConfig::Base, sample).ipc()));
+            row.push(format!(
+                "{:.3}",
+                run(bench, ideal(size), PredictorConfig::Base, sample).ipc()
+            ));
         }
         t.row(&row);
 

@@ -18,7 +18,13 @@ fn main() {
     println!("512-entry queues, {sample} committed instructions per run\n");
 
     let mut t = TextTable::new(&[
-        "bench", "mono pJ/inst", "seg pJ/inst", "ratio", "seg copies %", "mono CAM %", "gateable",
+        "bench",
+        "mono pJ/inst",
+        "seg pJ/inst",
+        "ratio",
+        "seg copies %",
+        "mono CAM %",
+        "gateable",
     ]);
     for bench in [Bench::Swim, Bench::Mgrid, Bench::Equake, Bench::Gcc, Bench::Vortex] {
         let mono = run(bench, ideal(512), PredictorConfig::Base, sample);

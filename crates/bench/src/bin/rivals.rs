@@ -14,7 +14,12 @@ fn main() {
     println!("({sample} committed instructions per run; IPC)\n");
 
     let mut t = TextTable::new(&[
-        "bench", "ideal-512", "presched-320", "distance-320", "segmented-320*", "seg-512-128ch",
+        "bench",
+        "ideal-512",
+        "presched-320",
+        "distance-320",
+        "segmented-320*",
+        "seg-512-128ch",
     ]);
     for bench in Bench::ALL {
         let ideal512 = run(bench, ideal(512), PredictorConfig::Base, sample);

@@ -27,8 +27,15 @@ fn main() {
     ];
 
     let mut t = TextTable::new(&[
-        "bench", "base avg", "base peak", "hmp avg", "hmp peak", "lrp avg", "lrp peak",
-        "comb avg", "comb peak",
+        "bench",
+        "base avg",
+        "base peak",
+        "hmp avg",
+        "hmp peak",
+        "lrp avg",
+        "lrp peak",
+        "comb avg",
+        "comb peak",
     ]);
     let mut avg_sums = [0.0f64; 4];
     let mut dual_dep_sum = 0.0;
@@ -72,8 +79,17 @@ fn main() {
         println!("  {label}: {:.0}%", 100.0 * (1.0 - avg_sums[pi] / avg_sums[0]));
     }
     println!();
-    println!("S1 (§6.1): HMP hit-prediction accuracy (worst benchmark): {:.1}%", 100.0 * hmp_acc_min);
+    println!(
+        "S1 (§6.1): HMP hit-prediction accuracy (worst benchmark): {:.1}%",
+        100.0 * hmp_acc_min
+    );
     println!("S1 (§6.1): HMP hit coverage (mean): {:.1}%", 100.0 * hmp_cov_sum / n);
-    println!("S3 (§4.3): instructions with two operands outstanding in different chains (mean): {:.1}%", 100.0 * dual_dep_sum / n);
-    println!("S4 (§4.4): chains headed by loads in the base configuration (mean): {:.1}%", 100.0 * load_head_sum / n);
+    println!(
+        "S3 (§4.3): instructions with two operands outstanding in different chains (mean): {:.1}%",
+        100.0 * dual_dep_sum / n
+    );
+    println!(
+        "S4 (§4.4): chains headed by loads in the base configuration (mean): {:.1}%",
+        100.0 * load_head_sum / n
+    );
 }

@@ -4,8 +4,10 @@
 
 #![deny(missing_docs)]
 
+pub mod runner;
 pub mod table;
 
+pub use runner::{BenchRunner, Measurement};
 pub use table::TextTable;
 
 use chainiq::{Bench, IqKind, PrescheduleConfig, RunResult, SegmentedIqConfig};
@@ -35,10 +37,7 @@ pub const DEFAULT_SEED: u64 = 20020525; // the ISCA 2002 conference date
 /// honor this so CI can run them quickly.
 #[must_use]
 pub fn sample_size() -> u64 {
-    std::env::var("CHAINIQ_SAMPLE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SAMPLE)
+    std::env::var("CHAINIQ_SAMPLE").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SAMPLE)
 }
 
 /// The four predictor configurations of Figure 2, in bar order.

@@ -51,7 +51,10 @@ pub use chainiq_power as power;
 pub use chainiq_predict as predict;
 pub use chainiq_workload as workload;
 
-pub use chainiq_baseline::{DistanceConfig, DistanceIq, IdealIq, PrescheduleConfig, PrescheduledIq};
+pub use chainiq_baseline::{
+    DistanceConfig, DistanceIq, IdealIq, PrescheduleConfig, PrescheduledIq,
+};
+pub use chainiq_circuit::{QueueGeometry, Technology};
 pub use chainiq_core::{
     DispatchInfo, DispatchStall, FuPool, InstTag, IssueQueue, SegmentedIq, SegmentedIqConfig,
     SegmentedStats, SrcOperand,
@@ -59,7 +62,8 @@ pub use chainiq_core::{
 pub use chainiq_cpu::{run_one, IqKind, Pipeline, RunResult, SimConfig, SimStats, SmtPipeline};
 pub use chainiq_isa::{ArchReg, Cycle, Inst, OpClass};
 pub use chainiq_mem::{Hierarchy, MemConfig};
-pub use chainiq_circuit::{QueueGeometry, Technology};
 pub use chainiq_power::{EnergyBreakdown, EnergyModel};
 pub use chainiq_predict::{HitMissPredictor, HybridBranchPredictor, LeftRightPredictor};
-pub use chainiq_workload::{AddressSpace, Bench, KernelSpec, Phase, Profile, SyntheticWorkload, VecWorkload};
+pub use chainiq_workload::{
+    AddressSpace, Bench, KernelSpec, Phase, Profile, SyntheticWorkload, VecWorkload,
+};

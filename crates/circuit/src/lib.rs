@@ -155,9 +155,7 @@ impl Technology {
     /// an atomic loop, §1).
     #[must_use]
     pub fn cycle_time(&self, g: QueueGeometry) -> f64 {
-        self.wakeup_delay_ps(g)
-            + self.select_delay_ps(g)
-            + self.stage_ps * g.extra_stages as f64
+        self.wakeup_delay_ps(g) + self.select_delay_ps(g) + self.stage_ps * g.extra_stages as f64
     }
 
     /// Achievable scheduler-limited clock in GHz.

@@ -200,10 +200,7 @@ impl ChainTable {
     /// Whether `chain` still refers to the allocation it was created for.
     #[cfg(test)]
     pub(crate) fn is_current(&self, chain: ChainRef) -> bool {
-        self.slots
-            .get(chain.id as usize)
-            .map(|s| s.live && s.gen == chain.gen)
-            .unwrap_or(false)
+        self.slots.get(chain.id as usize).map(|s| s.live && s.gen == chain.gen).unwrap_or(false)
     }
 
     /// The head of a live chain.

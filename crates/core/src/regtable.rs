@@ -156,7 +156,13 @@ mod tests {
         let r = ArchReg::int(2);
         t.set(
             r,
-            RegSched::OnChain { chain: chain(3), latency: 4, head_loc: 2, self_timed: false, suspended: false },
+            RegSched::OnChain {
+                chain: chain(3),
+                latency: 4,
+                head_loc: 2,
+                self_timed: false,
+                suspended: false,
+            },
         );
         let pulse = WireSignal { chain: chain(3), kind: SignalKind::Pulse, segment: 0 };
         t.apply_signal(pulse);
@@ -190,7 +196,13 @@ mod tests {
         let r = ArchReg::fp(0);
         t.set(
             r,
-            RegSched::OnChain { chain: chain(1), latency: 3, head_loc: 0, self_timed: true, suspended: false },
+            RegSched::OnChain {
+                chain: chain(1),
+                latency: 3,
+                head_loc: 0,
+                self_timed: true,
+                suspended: false,
+            },
         );
         t.tick(); // 3 -> 2
         t.apply_signal(WireSignal { chain: chain(1), kind: SignalKind::Suspend, segment: 0 });
@@ -214,8 +226,13 @@ mod tests {
     fn signals_for_other_chains_are_ignored() {
         let mut t = RegInfoTable::new();
         let r = ArchReg::int(3);
-        let sched =
-            RegSched::OnChain { chain: chain(1), latency: 5, head_loc: 3, self_timed: false, suspended: false };
+        let sched = RegSched::OnChain {
+            chain: chain(1),
+            latency: 5,
+            head_loc: 3,
+            self_timed: false,
+            suspended: false,
+        };
         t.set(r, sched);
         t.apply_signal(WireSignal { chain: chain(2), kind: SignalKind::Pulse, segment: 0 });
         assert_eq!(t.get(r), sched);

@@ -54,7 +54,10 @@ impl SegmentedIqConfig {
     /// Panics unless `entries` is a positive multiple of 32.
     #[must_use]
     pub fn paper(entries: usize, max_chains: Option<usize>) -> Self {
-        assert!(entries > 0 && entries.is_multiple_of(32), "paper configs are multiples of 32 entries");
+        assert!(
+            entries > 0 && entries.is_multiple_of(32),
+            "paper configs are multiples of 32 entries"
+        );
         SegmentedIqConfig {
             num_segments: entries / 32,
             segment_size: 32,
@@ -173,10 +176,7 @@ impl Entry {
     }
 
     fn data_ready(&self, now: Cycle) -> bool {
-        self.data_ops
-            .iter()
-            .flatten()
-            .all(|d| d.ready_at.map(|r| r <= now).unwrap_or(false))
+        self.data_ops.iter().flatten().all(|d| d.ready_at.map(|r| r <= now).unwrap_or(false))
     }
 
     fn apply_signal(&mut self, sig: WireSignal) {
@@ -273,11 +273,7 @@ impl SegmentedIq {
     /// still buffered (primarily for tests and visualization).
     #[must_use]
     pub fn delay_of(&self, tag: InstTag) -> Option<i64> {
-        self.segments
-            .iter()
-            .flatten()
-            .find(|e| e.tag == tag)
-            .map(Entry::delay)
+        self.segments.iter().flatten().find(|e| e.tag == tag).map(Entry::delay)
     }
 
     /// The segment currently holding `tag`, if buffered.
@@ -508,8 +504,7 @@ impl SegmentedIq {
         if !self.config.bypass {
             return (self.free(top) > 0).then_some(top);
         }
-        let highest_nonempty =
-            (0..=top).rev().find(|&k| !self.segments[k].is_empty()).unwrap_or(0);
+        let highest_nonempty = (0..=top).rev().find(|&k| !self.segments[k].is_empty()).unwrap_or(0);
         if self.free(highest_nonempty) > 0 {
             Some(highest_nonempty)
         } else if highest_nonempty < top {
@@ -585,7 +580,6 @@ impl IssueQueue for SegmentedIq {
         }
         self.progress_last_cycle = made_progress;
         self.issued_this_cycle = false;
-
     }
 
     fn dispatch(&mut self, now: Cycle, info: DispatchInfo) -> Result<(), DispatchStall> {
@@ -611,8 +605,7 @@ impl IssueQueue for SegmentedIq {
             RegSched::OnChain { chain, .. } => Some(*chain),
             _ => None,
         };
-        let chains_seen: Vec<ChainRef> =
-            srcs.iter().filter_map(|(_, s)| chain_of(s)).collect();
+        let chains_seen: Vec<ChainRef> = srcs.iter().filter_map(|(_, s)| chain_of(s)).collect();
         let dual_dep = chains_seen.len() == 2 && chains_seen[0] != chains_seen[1];
 
         let is_load = info.op == OpClass::Load;
@@ -693,17 +686,13 @@ impl IssueQueue for SegmentedIq {
                 }
             } else {
                 // Follow the slowest operand.
-                let slowest = sched_ops
-                    .iter()
-                    .flatten()
-                    .max_by_key(|o| o.delay())
-                    .copied();
+                let slowest = sched_ops.iter().flatten().max_by_key(|o| o.delay()).copied();
                 match slowest {
                     None => RegSched::Countdown { remaining: descent.max(0) + produce },
                     Some(op) => match op.chain {
-                        None => RegSched::Countdown {
-                            remaining: op.delay().max(descent) + produce,
-                        },
+                        None => {
+                            RegSched::Countdown { remaining: op.delay().max(descent) + produce }
+                        }
                         // Keep listening on the chain even in self-timed
                         // mode so suspend/resume reaches dependents'
                         // dependents.
@@ -733,14 +722,8 @@ impl IssueQueue for SegmentedIq {
             self.stats.segments_bypassed += (self.top() - target) as u64;
         }
 
-        let mut entry = Entry {
-            tag: info.tag,
-            op: info.op,
-            data_ops,
-            sched_ops,
-            heads_chain,
-            moved_at: now,
-        };
+        let mut entry =
+            Entry { tag: info.tag, op: info.op, data_ops, sched_ops, heads_chain, moved_at: now };
         // The register table lags the wire pipeline: signals between the
         // landing segment and the top have been seen by neither the table
         // nor (ever again) this segment. Deliver them now so a bypassed
@@ -763,11 +746,8 @@ impl IssueQueue for SegmentedIq {
         ready.sort();
         let mut issued = Vec::new();
         for tag in ready {
-            let op = self.segments[0]
-                .iter()
-                .find(|e| e.tag == tag)
-                .expect("candidate still queued")
-                .op;
+            let op =
+                self.segments[0].iter().find(|e| e.tag == tag).expect("candidate still queued").op;
             if fus.slots_left() == 0 {
                 break;
             }
@@ -844,8 +824,8 @@ impl SegmentedIq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chainiq_isa::ArchReg;
     use crate::tag::SrcOperand;
+    use chainiq_isa::ArchReg;
 
     fn cfg3x8() -> SegmentedIqConfig {
         SegmentedIqConfig::small_for_tests()
@@ -949,14 +929,16 @@ mod tests {
         let mut iq = SegmentedIq::new(cfg3x8());
         // A chain of dependent 1-cycle adds should issue on consecutive cycles.
         for i in 0..4u64 {
-            let srcs: Vec<SrcOperand> = if i == 0 {
-                vec![]
-            } else {
-                vec![dep_src(ArchReg::int(i as u8), InstTag(i - 1))]
-            };
+            let srcs: Vec<SrcOperand> =
+                if i == 0 { vec![] } else { vec![dep_src(ArchReg::int(i as u8), InstTag(i - 1))] };
             iq.dispatch(
                 0,
-                DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(i as u8 + 1), &srcs),
+                DispatchInfo::compute(
+                    InstTag(i),
+                    OpClass::IntAlu,
+                    ArchReg::int(i as u8 + 1),
+                    &srcs,
+                ),
             )
             .unwrap();
         }
@@ -1010,11 +992,7 @@ mod tests {
         .unwrap();
         let expect = [0, 0, 2, 3, 5, 1, 2, 3, 5];
         for (i, want) in expect.iter().enumerate() {
-            assert_eq!(
-                iq.delay_of(t(i as u64)),
-                Some(*want),
-                "figure 1 delay value of i{i}"
-            );
+            assert_eq!(iq.delay_of(t(i as u64)), Some(*want), "figure 1 delay value of i{i}");
         }
     }
 
@@ -1125,8 +1103,11 @@ mod tests {
         cfg.segment_size = 2;
         let mut iq = SegmentedIq::new(cfg);
         for i in 0..2 {
-            iq.dispatch(0, DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]))
-                .unwrap();
+            iq.dispatch(
+                0,
+                DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]),
+            )
+            .unwrap();
         }
         let err = iq
             .dispatch(0, DispatchInfo::compute(InstTag(9), OpClass::IntAlu, ArchReg::int(1), &[]))
@@ -1142,8 +1123,11 @@ mod tests {
         cfg.segment_size = 32;
         let mut iq = SegmentedIq::new(cfg);
         for i in 0..4u64 {
-            iq.dispatch(0, DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]))
-                .unwrap();
+            iq.dispatch(
+                0,
+                DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]),
+            )
+            .unwrap();
         }
         let issued = run_until_issued(&mut iq, 4, 5);
         assert_eq!(issued.len(), 4);
@@ -1284,6 +1268,92 @@ mod tests {
         }
         assert!(!issued.is_empty(), "recovery must eventually let the ready instruction issue");
         assert!(iq.full_stats().deadlock_cycles > 0, "the deadlock detector should have fired");
+    }
+
+    #[test]
+    fn run_deadlock_recovery_recycles_and_force_promotes() {
+        // Direct exercise of §4.5's two mechanisms, without relying on
+        // tick()'s detector: a full issue buffer of unready instructions
+        // below their (conceptual) producers, and a full upper segment
+        // holding the one ready instruction.
+        let mut cfg = cfg3x8();
+        cfg.num_segments = 2;
+        cfg.segment_size = 2;
+        cfg.bypass = false;
+        cfg.pushdown = false;
+        let mut iq = SegmentedIq::new(cfg);
+        // Two unready instructions (producer never announced) pushed down
+        // into segment 0 by normal promotion.
+        for i in 0..2u64 {
+            iq.dispatch(
+                0,
+                DispatchInfo::compute(
+                    InstTag(i),
+                    OpClass::IntAlu,
+                    ArchReg::int(i as u8 + 1),
+                    &[dep_src(ArchReg::int(20), InstTag(50))],
+                ),
+            )
+            .unwrap();
+            let mut fus = FuPool::table1();
+            iq.tick(i + 1, false);
+            let _ = iq.select_issue(i + 1, &mut fus);
+        }
+        assert_eq!(iq.free(0), 0, "setup: issue buffer full of unready instructions");
+        // Segment 1 fills with a ready instruction (tag 2) and another
+        // unready one, so both recovery mechanisms have work.
+        iq.dispatch(0, DispatchInfo::compute(InstTag(2), OpClass::IntAlu, ArchReg::int(9), &[]))
+            .unwrap();
+        iq.dispatch(
+            0,
+            DispatchInfo::compute(
+                InstTag(3),
+                OpClass::IntAlu,
+                ArchReg::int(10),
+                &[dep_src(ArchReg::int(21), InstTag(51))],
+            ),
+        )
+        .unwrap();
+        assert_eq!(iq.free(1), 0, "setup: top segment full");
+        let occupancy_before = iq.occupancy();
+
+        iq.run_deadlock_recovery(5);
+
+        let s = iq.full_stats();
+        assert_eq!(s.deadlock_cycles, 1);
+        assert_eq!(s.recovery_recycles, 1, "full unready issue buffer recycles one entry");
+        assert_eq!(s.recovery_promotions, 1, "the full upper segment force-promotes one");
+        assert_eq!(iq.occupancy(), occupancy_before, "recovery reorders, never drops");
+        assert_eq!(iq.segment_of(InstTag(1)), Some(1), "youngest seg-0 entry recycled to the top");
+        assert_eq!(iq.segment_of(InstTag(2)), Some(0), "oldest upper entry forced into seg 0");
+        assert_eq!(iq.segment_of(InstTag(0)), Some(0), "oldest unready entry keeps its slot");
+
+        // Boundary: with a ready instruction now in the issue buffer, a
+        // second invocation must not recycle again (the buffer is no
+        // longer all-unready) and has no promotion headroom.
+        iq.run_deadlock_recovery(6);
+        let s = iq.full_stats();
+        assert_eq!(s.deadlock_cycles, 2);
+        assert_eq!(s.recovery_recycles, 1, "no recycle when a seg-0 entry is ready");
+        assert_eq!(s.recovery_promotions, 1, "no promotion into a full issue buffer");
+
+        // The recovered layout makes progress: the ready instruction
+        // issues on the next cycles.
+        let mut fus = FuPool::table1();
+        let mut issued = Vec::new();
+        for now in 7..20 {
+            iq.tick(now, issued.is_empty());
+            issued.extend(iq.select_issue(now, &mut fus));
+            fus.next_cycle();
+            if !issued.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(
+            issued.first().map(|sel| sel.tag),
+            Some(InstTag(2)),
+            "the force-promoted ready instruction must be the one that issues"
+        );
     }
 
     #[test]
@@ -1433,8 +1503,11 @@ mod tests {
         cfg.bypass = false;
         let mut iq = SegmentedIq::new(cfg);
         for i in 0..10u64 {
-            iq.dispatch(0, DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]))
-                .unwrap();
+            iq.dispatch(
+                0,
+                DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]),
+            )
+            .unwrap();
         }
         iq.tick(1, false);
         assert_eq!(iq.segment_len(0), 4, "at most promote_width move per cycle");
@@ -1458,15 +1531,21 @@ mod tests {
         // Four ready instructions sink into segment 0 and stay (we never
         // let them issue by exhausting the FU pool with a tiny pool).
         for i in 0..4u64 {
-            iq.dispatch(0, DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]))
-                .unwrap();
+            iq.dispatch(
+                0,
+                DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]),
+            )
+            .unwrap();
         }
         iq.tick(1, false); // all four promote into segment 0
         assert_eq!(iq.segment_len(0), 4);
         // Four more wait in segment 1.
         for i in 4..8u64 {
-            iq.dispatch(1, DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]))
-                .unwrap();
+            iq.dispatch(
+                1,
+                DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(1), &[]),
+            )
+            .unwrap();
         }
         // Cycle 2: segment 0 drains by issue, but its free count as of
         // the previous cycle was zero, so nothing promotes this cycle.

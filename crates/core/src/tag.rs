@@ -170,7 +170,12 @@ mod tests {
 
     #[test]
     fn load_constructor_sets_prediction() {
-        let d = DispatchInfo::load(InstTag(2), ArchReg::int(1), SrcOperand::ready(ArchReg::int(2)), true);
+        let d = DispatchInfo::load(
+            InstTag(2),
+            ArchReg::int(1),
+            SrcOperand::ready(ArchReg::int(2)),
+            true,
+        );
         assert!(d.predicted_hit);
         assert_eq!(d.op, OpClass::Load);
     }

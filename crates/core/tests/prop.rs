@@ -6,8 +6,8 @@ use chainiq_core::{
     DispatchInfo, DispatchStall, FuPool, InstTag, IssueQueue, SegmentedIq, SegmentedIqConfig,
     SrcOperand,
 };
+use chainiq_devtest::{prop_assert, prop_assert_eq, prop_check, Gen};
 use chainiq_isa::{ArchReg, OpClass};
-use proptest::prelude::*;
 
 /// A compact description of one random instruction.
 #[derive(Debug, Clone)]
@@ -19,21 +19,14 @@ struct RandInst {
     predicted_hit: bool,
 }
 
-fn rand_inst() -> impl Strategy<Value = RandInst> {
-    (
-        0u8..6,
-        0u8..24,
-        prop::option::of(0u8..24),
-        prop::option::of(0u8..24),
-        any::<bool>(),
-    )
-        .prop_map(|(op_pick, dest, src1, src2, predicted_hit)| RandInst {
-            op_pick,
-            dest,
-            src1,
-            src2,
-            predicted_hit,
-        })
+fn rand_inst(g: &mut Gen) -> RandInst {
+    RandInst {
+        op_pick: g.u8(0..6),
+        dest: g.u8(0..24),
+        src1: g.option(|g| g.u8(0..24)),
+        src2: g.option(|g| g.u8(0..24)),
+        predicted_hit: g.bool(),
+    }
 }
 
 fn op_of(pick: u8) -> OpClass {
@@ -77,8 +70,7 @@ fn drive(iq: &mut SegmentedIq, program: &[RandInst], limit: u64) -> Vec<InstTag>
             let src = |s: Option<u8>| {
                 s.map(|reg| SrcOperand {
                     reg: ArchReg::int(reg),
-                    producer: last_writer[reg as usize]
-                        .filter(|p| !completed[p.0 as usize]),
+                    producer: last_writer[reg as usize].filter(|p| !completed[p.0 as usize]),
                     known_ready_at: if last_writer[reg as usize]
                         .map(|p| completed[p.0 as usize])
                         .unwrap_or(true)
@@ -113,17 +105,13 @@ fn drive(iq: &mut SegmentedIq, program: &[RandInst], limit: u64) -> Vec<InstTag>
     issued_order
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
+prop_check! {
     /// Every dispatched instruction issues exactly once and the queue
     /// drains — for any random dependence graph and any queue geometry.
-    #[test]
-    fn queue_always_drains(
-        program in prop::collection::vec(rand_inst(), 1..120),
-        segs in 1usize..6,
-        chains in prop::option::of(2usize..64),
-    ) {
+    fn queue_always_drains(g, cases = 64) {
+        let program = g.vec(1..120, rand_inst);
+        let segs = g.usize(1..6);
+        let chains = g.option(|g| g.usize(2..64));
         let mut iq = SegmentedIq::new(SegmentedIqConfig {
             num_segments: segs,
             segment_size: 16,
@@ -149,10 +137,8 @@ proptest! {
 
     /// Dependences are respected: a consumer never issues before its
     /// producer.
-    #[test]
-    fn producers_issue_before_consumers(
-        program in prop::collection::vec(rand_inst(), 1..100),
-    ) {
+    fn producers_issue_before_consumers(g, cases = 64) {
+        let program = g.vec(1..100, rand_inst);
         let mut iq = SegmentedIq::new(SegmentedIqConfig::paper(64, None));
         let order = drive(&mut iq, &program, 4000);
         let pos_of = |t: InstTag| order.iter().position(|x| *x == t);
@@ -172,19 +158,17 @@ proptest! {
     }
 
     /// The chain-wire budget is a hard invariant under any program.
-    #[test]
-    fn chain_budget_holds(
-        program in prop::collection::vec(rand_inst(), 1..150),
-        budget in 1usize..32,
-    ) {
+    fn chain_budget_holds(g, cases = 64) {
+        let program = g.vec(1..150, rand_inst);
+        let budget = g.usize(1..32);
         let mut iq = SegmentedIq::new(SegmentedIqConfig::paper(64, Some(budget)));
         let _ = drive(&mut iq, &program, 4000);
         prop_assert!(iq.full_stats().chains.peak_live <= budget);
     }
 
     /// Delay values are never negative and never exceed a sane bound.
-    #[test]
-    fn delays_stay_bounded(program in prop::collection::vec(rand_inst(), 1..80)) {
+    fn delays_stay_bounded(g, cases = 64) {
+        let program = g.vec(1..80, rand_inst);
         let mut iq = SegmentedIq::new(SegmentedIqConfig::small_for_tests());
         let mut fus = FuPool::table1();
         let mut next = 0usize;

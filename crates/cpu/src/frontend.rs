@@ -178,7 +178,11 @@ mod tests {
     use chainiq_mem::MemConfig;
 
     fn setup() -> (SimConfig, HybridBranchPredictor, Hierarchy) {
-        (SimConfig::default(), HybridBranchPredictor::default(), Hierarchy::new(MemConfig::default()))
+        (
+            SimConfig::default(),
+            HybridBranchPredictor::default(),
+            Hierarchy::new(MemConfig::default()),
+        )
     }
 
     fn alu_stream(n: usize) -> Vec<Inst> {

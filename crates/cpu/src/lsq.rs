@@ -94,7 +94,14 @@ impl Lsq {
 
     /// Inserts a memory op at dispatch (program order). `predicted_hit`
     /// is the HMP verdict the load dispatched under.
-    pub(crate) fn push(&mut self, tag: InstTag, pc: u64, addr: u64, is_store: bool, predicted_hit: bool) {
+    pub(crate) fn push(
+        &mut self,
+        tag: InstTag,
+        pc: u64,
+        addr: u64,
+        is_store: bool,
+        predicted_hit: bool,
+    ) {
         self.entries.push_back(LsqEntry {
             tag,
             pc,

@@ -213,7 +213,13 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
         for ev in self.lsq.cycle(now, &mut self.mem) {
             match ev {
                 LsqEvent::LoadResolved {
-                    tag, pc, predicted_hit, completes_at, l1_resolved_at, was_l1_hit, ..
+                    tag,
+                    pc,
+                    predicted_hit,
+                    completes_at,
+                    l1_resolved_at,
+                    was_l1_hit,
+                    ..
                 } => {
                     self.announce(tag, completes_at);
                     self.hmp.update(pc, was_l1_hit);

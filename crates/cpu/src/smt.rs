@@ -269,7 +269,13 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> SmtPipeline<Q, W> {
             for ev in events {
                 match ev {
                     LsqEvent::LoadResolved {
-                        tag, pc, predicted_hit, completes_at, l1_resolved_at, was_l1_hit, ..
+                        tag,
+                        pc,
+                        predicted_hit,
+                        completes_at,
+                        l1_resolved_at,
+                        was_l1_hit,
+                        ..
                     } => {
                         self.announce(tag, completes_at);
                         self.hmp.update(pc, was_l1_hit);
@@ -428,8 +434,8 @@ mod tests {
     use chainiq_workload::{AddressSpace, Bench, SyntheticWorkload};
 
     // Not a multiple of any predictor-table size, so thread contexts do not
-// alias exactly onto the same PHT/BTB/HMP slots.
-const STRIDE: u64 = (1 << 40) | 0x94_530;
+    // alias exactly onto the same PHT/BTB/HMP slots.
+    const STRIDE: u64 = (1 << 40) | 0x94_530;
 
     fn threads(n: usize, bench: Bench) -> Vec<AddressSpace<SyntheticWorkload>> {
         (0..n as u64)
@@ -451,11 +457,7 @@ const STRIDE: u64 = (1 << 40) | 0x94_530;
         assert!(!s.hung);
         assert!(s.committed >= 6_000);
         for t in 0..2 {
-            assert!(
-                smt.committed_of(t) > 1_000,
-                "thread {t} starved: {}",
-                smt.committed_of(t)
-            );
+            assert!(smt.committed_of(t) > 1_000, "thread {t} starved: {}", smt.committed_of(t));
         }
     }
 

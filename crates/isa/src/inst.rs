@@ -216,7 +216,8 @@ mod tests {
         assert_eq!(i0.num_srcs(), 0);
         let i1 = Inst::compute(0, OpClass::IntMul, r, &[ArchReg::int(2)]);
         assert_eq!(i1.num_srcs(), 1);
-        let i2 = Inst::compute(0, OpClass::FpAdd, ArchReg::fp(0), &[ArchReg::fp(1), ArchReg::fp(2)]);
+        let i2 =
+            Inst::compute(0, OpClass::FpAdd, ArchReg::fp(0), &[ArchReg::fp(1), ArchReg::fp(2)]);
         assert_eq!(i2.num_srcs(), 2);
         assert_eq!(i2.srcs(), vec![ArchReg::fp(1), ArchReg::fp(2)]);
     }

@@ -156,12 +156,8 @@ impl CacheArray {
 
         self.stats.misses += 1;
         // Prefer an invalid way; otherwise evict the LRU way.
-        let victim_idx = set
-            .iter()
-            .enumerate()
-            .find(|(_, w)| !w.valid)
-            .map(|(i, _)| i)
-            .unwrap_or_else(|| {
+        let victim_idx =
+            set.iter().enumerate().find(|(_, w)| !w.valid).map(|(i, _)| i).unwrap_or_else(|| {
                 set.iter().enumerate().min_by_key(|(_, w)| w.last_use).map(|(i, _)| i).unwrap()
             });
         let victim = &mut set[victim_idx];
@@ -209,7 +205,13 @@ mod tests {
 
     fn small() -> CacheArray {
         // 4 sets x 2 ways x 64B lines.
-        CacheArray::new(CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64, latency: 1, mshrs: 4 })
+        CacheArray::new(CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 1,
+            mshrs: 4,
+        })
     }
 
     #[test]
@@ -313,14 +315,16 @@ mod tests {
     #[test]
     fn table1_l1_geometry() {
         // 64 KB, 2-way, 64-byte lines -> 512 sets.
-        let cfg = CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, latency: 3, mshrs: 32 };
+        let cfg =
+            CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, latency: 3, mshrs: 32 };
         assert_eq!(cfg.num_sets(), 512);
     }
 
     #[test]
     fn table1_l2_geometry() {
         // 1 MB, 4-way, 64-byte lines -> 4096 sets.
-        let cfg = CacheConfig { size_bytes: 1 << 20, assoc: 4, line_bytes: 64, latency: 10, mshrs: 32 };
+        let cfg =
+            CacheConfig { size_bytes: 1 << 20, assoc: 4, line_bytes: 64, latency: 10, mshrs: 32 };
         assert_eq!(cfg.num_sets(), 4096);
     }
 }

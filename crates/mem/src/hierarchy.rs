@@ -94,9 +94,27 @@ impl Default for MemConfig {
     /// Table 1 of the paper.
     fn default() -> Self {
         MemConfig {
-            l1i: CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, latency: 1, mshrs: 32 },
-            l1d: CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, latency: 3, mshrs: 32 },
-            l2: CacheConfig { size_bytes: 1 << 20, assoc: 4, line_bytes: 64, latency: 10, mshrs: 32 },
+            l1i: CacheConfig {
+                size_bytes: 64 << 10,
+                assoc: 2,
+                line_bytes: 64,
+                latency: 1,
+                mshrs: 32,
+            },
+            l1d: CacheConfig {
+                size_bytes: 64 << 10,
+                assoc: 2,
+                line_bytes: 64,
+                latency: 3,
+                mshrs: 32,
+            },
+            l2: CacheConfig {
+                size_bytes: 1 << 20,
+                assoc: 4,
+                line_bytes: 64,
+                latency: 10,
+                mshrs: 32,
+            },
             l1_l2_bytes_per_cycle: 64,
             memory_latency: 100,
             memory_bytes_per_cycle: 8,
@@ -204,11 +222,8 @@ impl Hierarchy {
         };
         let l1_resolved_at = now + l1_latency;
 
-        let (array, mshrs) = if is_ifetch {
-            (&self.l1i, &self.l1i_mshrs)
-        } else {
-            (&self.l1d, &self.l1d_mshrs)
-        };
+        let (array, mshrs) =
+            if is_ifetch { (&self.l1i, &self.l1i_mshrs) } else { (&self.l1d, &self.l1d_mshrs) };
 
         // Case 1: true L1 hit (present, no fill in flight).
         let outstanding = mshrs.outstanding(now, line);
@@ -243,7 +258,9 @@ impl Hierarchy {
         }
 
         // Case 3: primary L1 miss. Check resources before mutating.
-        if mshrs.in_use(now) >= if is_ifetch { self.config.l1i.mshrs } else { self.config.l1d.mshrs } {
+        if mshrs.in_use(now)
+            >= if is_ifetch { self.config.l1i.mshrs } else { self.config.l1d.mshrs }
+        {
             self.stats.mshr_rejections += 1;
             return Err(RejectReason::L1MshrFull);
         }

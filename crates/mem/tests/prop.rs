@@ -1,7 +1,9 @@
 //! Property tests for the memory hierarchy.
 
-use chainiq_mem::{AccessKind, CacheArray, CacheConfig, Hierarchy, MemConfig, MshrFile, MshrGrant, ServicedBy};
-use proptest::prelude::*;
+use chainiq_devtest::{prop_assert, prop_assert_eq, prop_check};
+use chainiq_mem::{
+    AccessKind, CacheArray, CacheConfig, Hierarchy, MemConfig, MshrFile, MshrGrant, ServicedBy,
+};
 
 fn small_mem() -> Hierarchy {
     // A small hierarchy so random address streams exercise evictions.
@@ -15,11 +17,11 @@ fn small_mem() -> Hierarchy {
     })
 }
 
-proptest! {
+prop_check! {
     /// Every accepted access completes no earlier than its L1 latency and
     /// resolves its L1 lookup exactly at the L1 latency.
-    #[test]
-    fn completion_respects_latency(addrs in prop::collection::vec(0u64..1 << 20, 1..200)) {
+    fn completion_respects_latency(g) {
+        let addrs = g.vec(1..200, |g| g.u64(0..1 << 20));
         let mut mem = small_mem();
         let mut now = 0u64;
         for (i, addr) in addrs.iter().enumerate() {
@@ -40,8 +42,8 @@ proptest! {
 
     /// Re-accessing an address after its fill landed is always an L1 hit
     /// (no intervening accesses to evict it).
-    #[test]
-    fn fill_then_hit(addr in 0u64..1 << 30) {
+    fn fill_then_hit(g) {
+        let addr = g.u64(0..1 << 30);
         let mut mem = small_mem();
         let out = mem.access(0, addr, AccessKind::Read).unwrap();
         let again = mem.access(out.completes_at + 1, addr, AccessKind::Read).unwrap();
@@ -50,8 +52,8 @@ proptest! {
 
     /// Hierarchy statistics stay consistent: accesses = hits + misses,
     /// and delayed hits are a subset of L1 misses.
-    #[test]
-    fn stats_consistency(addrs in prop::collection::vec(0u64..1 << 16, 1..300)) {
+    fn stats_consistency(g) {
+        let addrs = g.vec(1..300, |g| g.u64(0..1 << 16));
         let mut mem = small_mem();
         let mut accepted = 0u64;
         for (i, addr) in addrs.into_iter().enumerate() {
@@ -67,8 +69,8 @@ proptest! {
 
     /// A cache array never exceeds its capacity and always hits on an
     /// immediate re-access.
-    #[test]
-    fn cache_array_capacity(addrs in prop::collection::vec(0u64..1 << 16, 1..500)) {
+    fn cache_array_capacity(g) {
+        let addrs = g.vec(1..500, |g| g.u64(0..1 << 16));
         let mut c = CacheArray::new(CacheConfig {
             size_bytes: 2048, assoc: 2, line_bytes: 64, latency: 1, mshrs: 1,
         });
@@ -80,8 +82,8 @@ proptest! {
     }
 
     /// The MSHR file never tracks more lines than its capacity.
-    #[test]
-    fn mshr_capacity(ops in prop::collection::vec((0u64..64, 1u64..200), 1..200)) {
+    fn mshr_capacity(g) {
+        let ops = g.vec(1..200, |g| (g.u64(0..64), g.u64(1..200)));
         let mut m = MshrFile::new(4);
         for (now, (line, dur)) in ops.into_iter().enumerate() {
             let now = now as u64;
@@ -95,8 +97,9 @@ proptest! {
 
     /// A merged (delayed-hit) access always completes no later than a
     /// fresh miss would have.
-    #[test]
-    fn delayed_hit_never_slower_than_fresh_miss(offset in 0u64..63, gap in 1u64..50) {
+    fn delayed_hit_never_slower_than_fresh_miss(g) {
+        let offset = g.u64(0..63);
+        let gap = g.u64(1..50);
         let mut mem = small_mem();
         let first = mem.access(0, 4096, AccessKind::Read).unwrap();
         let t = gap.min(first.completes_at.saturating_sub(1));

@@ -157,8 +157,7 @@ impl EnergyModel {
     /// non-empty-segment count); chain-wire hops.
     #[must_use]
     pub fn segmented_energy(&self, s: &SegmentedStats) -> EnergyBreakdown {
-        let copies =
-            s.promotions + s.pushdowns + s.recovery_promotions + s.recovery_recycles;
+        let copies = s.promotions + s.pushdowns + s.recovery_promotions + s.recovery_recycles;
         let upper_occ_accum = s.iq.occupancy_accum.saturating_sub(s.seg0_occupancy_accum);
         let total_segment_cycles = s.iq.cycles * s.num_segments as u64;
         let active_segment_cycles = total_segment_cycles.saturating_sub(s.empty_segment_cycles);

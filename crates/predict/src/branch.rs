@@ -86,7 +86,11 @@ impl Btb {
         let num_sets = entries / assoc;
         assert!(num_sets.is_power_of_two(), "BTB set count must be a power of two");
         let entry = BtbEntry { pc: 0, target: 0, last_use: 0, valid: false };
-        Btb { sets: vec![vec![entry; assoc]; num_sets], set_mask: (num_sets - 1) as u64, use_clock: 0 }
+        Btb {
+            sets: vec![vec![entry; assoc]; num_sets],
+            set_mask: (num_sets - 1) as u64,
+            use_clock: 0,
+        }
     }
 
     fn set_index(&self, pc: u64) -> usize {

@@ -1,14 +1,14 @@
 //! Property tests for the predictors: each implementation matches a
 //! simple reference model.
 
+use chainiq_devtest::{prop_assert, prop_assert_eq, prop_check};
 use chainiq_predict::{HitMissPredictor, HybridBranchPredictor, LeftRightPredictor, Operand};
-use proptest::prelude::*;
 
-proptest! {
+prop_check! {
     /// The HMP equals the reference "clear-on-miss saturating streak"
     /// model for any outcome sequence on a single PC.
-    #[test]
-    fn hmp_matches_reference_model(outcomes in prop::collection::vec(any::<bool>(), 1..300)) {
+    fn hmp_matches_reference_model(g) {
+        let outcomes = g.vec(1..300, |g| g.bool());
         let mut hmp = HitMissPredictor::default();
         let mut streak: u32 = 0; // reference counter, saturating at 15
         for hit in outcomes {
@@ -19,8 +19,8 @@ proptest! {
     }
 
     /// HMP statistics never report accuracy or coverage outside [0, 1].
-    #[test]
-    fn hmp_stats_bounded(events in prop::collection::vec((0u64..16, any::<bool>()), 1..300)) {
+    fn hmp_stats_bounded(g) {
+        let events = g.vec(1..300, |g| (g.u64(0..16), g.bool()));
         let mut hmp = HitMissPredictor::default();
         for (pc4, hit) in events {
             let pc = pc4 * 4;
@@ -37,8 +37,8 @@ proptest! {
 
     /// The LRP converges to a stable operand after at most 3 consistent
     /// updates, from any prior state.
-    #[test]
-    fn lrp_converges(noise in prop::collection::vec(any::<bool>(), 0..20)) {
+    fn lrp_converges(g) {
+        let noise = g.vec(0..20, |g| g.bool());
         let mut lrp = LeftRightPredictor::default();
         for later_right in noise {
             lrp.update(0x80, if later_right { Operand::Right } else { Operand::Left });
@@ -51,10 +51,8 @@ proptest! {
 
     /// The branch predictor's accuracy statistics are consistent and the
     /// prediction for an always-taken branch converges.
-    #[test]
-    fn branch_predictor_stats_consistent(
-        outcomes in prop::collection::vec(any::<bool>(), 1..300),
-    ) {
+    fn branch_predictor_stats_consistent(g) {
+        let outcomes = g.vec(1..300, |g| g.bool());
         let mut bp = HybridBranchPredictor::default();
         for taken in outcomes {
             bp.predict_and_train(0x1000, taken, 0x2000);
@@ -72,8 +70,8 @@ proptest! {
 
     /// Unconditional transfers are mispredicted at most once per target
     /// change (BTB fill).
-    #[test]
-    fn unconditional_misses_only_on_cold_btb(targets in prop::collection::vec(1u64..8, 1..60)) {
+    fn unconditional_misses_only_on_cold_btb(g) {
+        let targets = g.vec(1..60, |g| g.u64(1..8));
         let mut bp = HybridBranchPredictor::default();
         let mut last_target = None;
         for t in targets {

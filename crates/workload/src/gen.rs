@@ -3,8 +3,7 @@
 use std::collections::VecDeque;
 
 use chainiq_isa::{Inst, OpClass};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use chainiq_rng::Rng;
 
 use crate::kernels::KernelState;
 use crate::profile::Profile;
@@ -32,7 +31,7 @@ pub struct SyntheticWorkload {
     rotation: Vec<usize>,
     rotation_pos: usize,
     burst_iterations: Vec<u32>,
-    rng: StdRng,
+    rng: Rng,
     buffer: VecDeque<Inst>,
     emitted: u64,
 }
@@ -59,7 +58,7 @@ impl SyntheticWorkload {
             rotation,
             rotation_pos: 0,
             burst_iterations,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             buffer: VecDeque::new(),
             emitted: 0,
         }

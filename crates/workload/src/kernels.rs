@@ -1,8 +1,7 @@
 //! Loop kernels: the building blocks of synthetic benchmark profiles.
 
 use chainiq_isa::{Inst, OpClass};
-use rand::rngs::StdRng;
-use rand::Rng;
+use chainiq_rng::Rng;
 
 /// Declarative description of one loop kernel.
 ///
@@ -138,7 +137,7 @@ impl KernelState {
         &mut self,
         continue_loop: bool,
         out: &mut Vec<Inst>,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) {
         let mut pc = PcCursor { next: self.pc_base };
         match self.spec {
@@ -275,7 +274,7 @@ impl KernelState {
         work_per_hop: u8,
         pc: &mut PcCursor,
         out: &mut Vec<Inst>,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) {
         let rp = regs::pointer();
         // rp = *rp — serially dependent loads; the walk visits a random
@@ -303,7 +302,7 @@ impl KernelState {
         fp_ops: u8,
         pc: &mut PcCursor,
         out: &mut Vec<Inst>,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) {
         let ri = regs::index();
         let rj = regs::gathered_index();
@@ -336,7 +335,7 @@ impl KernelState {
         working_set: u64,
         pc: &mut PcCursor,
         out: &mut Vec<Inst>,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) {
         let ri = regs::index();
         let ra = regs::scratch(0);
@@ -397,11 +396,10 @@ impl PcCursor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn run(spec: KernelSpec, iters: u64) -> Vec<Inst> {
         let mut state = KernelState::new(spec, 0x1000, 0x10_0000);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut out = Vec::new();
         for i in 0..iters {
             state.emit_iteration(i + 1 < iters, &mut out, &mut rng);
@@ -425,7 +423,13 @@ mod tests {
     #[test]
     fn stream_iterations_are_independent_in_memory() {
         let insts = run(
-            KernelSpec::Stream { arrays: 1, working_set: 1 << 20, stride: 64, fp_ops: 0, store: false },
+            KernelSpec::Stream {
+                arrays: 1,
+                working_set: 1 << 20,
+                stride: 64,
+                fp_ops: 0,
+                store: false,
+            },
             4,
         );
         let addrs: Vec<u64> =
@@ -449,10 +453,7 @@ mod tests {
 
     #[test]
     fn backedge_taken_except_last() {
-        let insts = run(
-            KernelSpec::Reduction { working_set: 4096, fp_mul: false },
-            3,
-        );
+        let insts = run(KernelSpec::Reduction { working_set: 4096, fp_mul: false }, 3);
         let branches: Vec<bool> =
             insts.iter().filter(|i| i.is_branch()).map(|i| i.branch.unwrap().taken).collect();
         assert_eq!(branches, vec![true, true, false]);
@@ -471,10 +472,7 @@ mod tests {
 
     #[test]
     fn pointer_chase_loads_depend_on_themselves() {
-        let insts = run(
-            KernelSpec::PointerChase { nodes: 64, node_bytes: 64, work_per_hop: 2 },
-            3,
-        );
+        let insts = run(KernelSpec::PointerChase { nodes: 64, node_bytes: 64, work_per_hop: 2 }, 3);
         let loads: Vec<&Inst> = insts.iter().filter(|i| i.is_load()).collect();
         assert_eq!(loads.len(), 3);
         for l in &loads {
@@ -489,10 +487,8 @@ mod tests {
 
     #[test]
     fn gather_second_load_depends_on_first() {
-        let insts = run(
-            KernelSpec::Gather { table_bytes: 1 << 20, index_bytes: 4096, fp_ops: 1 },
-            1,
-        );
+        let insts =
+            run(KernelSpec::Gather { table_bytes: 1 << 20, index_bytes: 4096, fp_ops: 1 }, 1);
         let loads: Vec<&Inst> = insts.iter().filter(|i| i.is_load()).collect();
         assert_eq!(loads.len(), 2);
         assert_eq!(loads[1].src1, loads[0].dest, "gather address depends on index load");

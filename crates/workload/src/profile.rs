@@ -104,10 +104,7 @@ impl Bench {
     ///
     /// Returns the unrecognized input back as the error value.
     pub fn from_name(name: &str) -> Result<Bench, String> {
-        Bench::ALL
-            .into_iter()
-            .find(|b| b.name() == name)
-            .ok_or_else(|| name.to_string())
+        Bench::ALL.into_iter().find(|b| b.name() == name).ok_or_else(|| name.to_string())
     }
 
     /// Builds the calibrated synthetic profile for this benchmark.
@@ -396,18 +393,15 @@ mod tests {
     #[test]
     fn swim_is_streaming_dominated() {
         let p = Bench::Swim.profile();
-        assert!(p
-            .phases
-            .iter()
-            .all(|ph| matches!(ph.kernel, KernelSpec::Stream { .. })));
+        assert!(p.phases.iter().all(|ph| matches!(ph.kernel, KernelSpec::Stream { .. })));
     }
 
     #[test]
     fn gcc_contains_random_branches() {
         let p = Bench::Gcc.profile();
-        let has_random = p.phases.iter().any(|ph| {
-            matches!(ph.kernel, KernelSpec::Branchy { random_frac, .. } if random_frac > 0.2)
-        });
+        let has_random = p.phases.iter().any(
+            |ph| matches!(ph.kernel, KernelSpec::Branchy { random_frac, .. } if random_frac > 0.2),
+        );
         assert!(has_random);
     }
 }

@@ -1,69 +1,58 @@
 //! Property tests for the synthetic workload generators.
 
+use chainiq_devtest::{prop_assert, prop_assert_eq, prop_check, Gen};
 use chainiq_workload::{Bench, KernelSpec, Phase, Profile, SyntheticWorkload};
-use proptest::prelude::*;
 
-fn kernel_strategy() -> impl Strategy<Value = KernelSpec> {
-    prop_oneof![
-        (1u8..4, 1u64..8, 0u8..4, any::<bool>()).prop_map(|(arrays, ws_kb, fp_ops, store)| {
-            KernelSpec::Stream {
-                arrays,
-                working_set: ws_kb << 12,
-                stride: 8,
-                fp_ops,
-                store,
-            }
-        }),
-        (1u8..5, 1u64..8, 0u8..4).prop_map(|(taps, ws_kb, fp_ops)| KernelSpec::Stencil {
-            taps,
-            working_set: ws_kb << 10,
-            fp_ops,
-        }),
-        (1u64..8, any::<bool>()).prop_map(|(ws_kb, fp_mul)| KernelSpec::Reduction {
-            working_set: ws_kb << 10,
-            fp_mul,
-        }),
-        (16u64..512, 0u8..4).prop_map(|(nodes, work)| KernelSpec::PointerChase {
-            nodes,
+fn rand_kernel(g: &mut Gen) -> KernelSpec {
+    match g.pick(6) {
+        0 => KernelSpec::Stream {
+            arrays: g.u8(1..4),
+            working_set: g.u64(1..8) << 12,
+            stride: 8,
+            fp_ops: g.u8(0..4),
+            store: g.bool(),
+        },
+        1 => KernelSpec::Stencil {
+            taps: g.u8(1..5),
+            working_set: g.u64(1..8) << 10,
+            fp_ops: g.u8(0..4),
+        },
+        2 => KernelSpec::Reduction { working_set: g.u64(1..8) << 10, fp_mul: g.bool() },
+        3 => KernelSpec::PointerChase {
+            nodes: g.u64(16..512),
             node_bytes: 64,
-            work_per_hop: work,
-        }),
-        (1u64..64, 0u8..4).prop_map(|(tab_kb, fp_ops)| KernelSpec::Gather {
-            table_bytes: tab_kb << 12,
+            work_per_hop: g.u8(0..4),
+        },
+        4 => KernelSpec::Gather {
+            table_bytes: g.u64(1..64) << 12,
             index_bytes: 1 << 10,
-            fp_ops,
-        }),
-        (0.0f64..1.0, 0.0f64..1.0, 0u8..5, 1u64..32).prop_map(
-            |(taken_prob, random_frac, work, ws_kb)| KernelSpec::Branchy {
-                taken_prob,
-                random_frac,
-                work,
-                working_set: ws_kb << 10,
-            }
-        ),
-    ]
+            fp_ops: g.u8(0..4),
+        },
+        _ => KernelSpec::Branchy {
+            taken_prob: g.f64(0.0..1.0),
+            random_frac: g.f64(0.0..1.0),
+            work: g.u8(0..5),
+            working_set: g.u64(1..32) << 10,
+        },
+    }
 }
 
-fn profile_strategy() -> impl Strategy<Value = Profile> {
-    prop::collection::vec((kernel_strategy(), 1u32..64, 1u32..4), 1..4).prop_map(|phases| {
-        Profile::new(
-            "prop",
-            phases
-                .into_iter()
-                .map(|(kernel, burst_iterations, weight)| Phase { kernel, burst_iterations, weight })
-                .collect(),
-        )
-    })
+fn rand_profile(g: &mut Gen) -> Profile {
+    let phases = g.vec(1..4, |g| Phase {
+        kernel: rand_kernel(g),
+        burst_iterations: g.u32(1..64),
+        weight: g.u32(1..4),
+    });
+    Profile::new("prop", phases)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
+prop_check! {
     /// Any profile produces an endless, well-formed stream: every
     /// instruction has consistent operands, memory ops carry addresses,
     /// branches carry outcomes.
-    #[test]
-    fn arbitrary_profiles_generate_well_formed_streams(profile in profile_strategy(), seed: u64) {
+    fn arbitrary_profiles_generate_well_formed_streams(g, cases = 48) {
+        let profile = rand_profile(g);
+        let seed = g.any_u64();
         let mut w = SyntheticWorkload::from_profile(profile, seed);
         for inst in w.by_ref().take(3000) {
             prop_assert!(inst.num_srcs() <= 2);
@@ -88,8 +77,9 @@ proptest! {
     }
 
     /// Streams are a pure function of (profile, seed).
-    #[test]
-    fn streams_are_deterministic(profile in profile_strategy(), seed: u64) {
+    fn streams_are_deterministic(g, cases = 48) {
+        let profile = rand_profile(g);
+        let seed = g.any_u64();
         let a: Vec<_> =
             SyntheticWorkload::from_profile(profile.clone(), seed).take(1500).collect();
         let b: Vec<_> = SyntheticWorkload::from_profile(profile, seed).take(1500).collect();
@@ -99,8 +89,9 @@ proptest! {
     /// Static PCs repeat: the dynamic stream reuses a bounded set of
     /// instruction addresses (a real program's static image), which the
     /// PC-indexed predictors rely on.
-    #[test]
-    fn static_code_footprint_is_bounded(profile in profile_strategy(), seed: u64) {
+    fn static_code_footprint_is_bounded(g, cases = 48) {
+        let profile = rand_profile(g);
+        let seed = g.any_u64();
         let pcs: std::collections::HashSet<u64> = SyntheticWorkload::from_profile(profile, seed)
             .take(5000)
             .map(|i| i.pc)
@@ -110,8 +101,8 @@ proptest! {
 
     /// The standard benchmarks yield instruction mixes inside sane
     /// architectural bounds for any seed.
-    #[test]
-    fn bench_mixes_bounded_for_any_seed(seed: u64) {
+    fn bench_mixes_bounded_for_any_seed(g, cases = 48) {
+        let seed = g.any_u64();
         for b in Bench::ALL {
             let mut loads = 0u32;
             let mut branches = 0u32;

@@ -10,7 +10,9 @@
 //! cargo run --release --example chain_anatomy
 //! ```
 
-use chainiq::core::{DispatchInfo, FuPool, InstTag, IssueQueue, SegmentedIq, SegmentedIqConfig, SrcOperand};
+use chainiq::core::{
+    DispatchInfo, FuPool, InstTag, IssueQueue, SegmentedIq, SegmentedIqConfig, SrcOperand,
+};
 use chainiq::{ArchReg, OpClass};
 
 fn dep(reg: ArchReg, producer: u64) -> SrcOperand {

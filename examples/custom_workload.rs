@@ -27,7 +27,11 @@ fn my_workload() -> Profile {
             },
             // A linked-list sweep: serially dependent misses.
             Phase {
-                kernel: KernelSpec::PointerChase { nodes: 32 * KB, node_bytes: 64, work_per_hop: 3 },
+                kernel: KernelSpec::PointerChase {
+                    nodes: 32 * KB,
+                    node_bytes: 64,
+                    work_per_hop: 3,
+                },
                 burst_iterations: 64,
                 weight: 1,
             },
@@ -42,8 +46,7 @@ fn my_workload() -> Profile {
 }
 
 fn main() {
-    let insts: u64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let insts: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
 
     println!("custom workload: sparse-solver ({insts} committed instructions per run)\n");
     println!("512-entry segmented IQ, HMP+LRP, sweeping the chain-wire budget:\n");

@@ -35,15 +35,17 @@ fn sweep(bench: Bench, insts: u64) -> Vec<(usize, f64, f64)> {
 }
 
 fn main() {
-    let insts: u64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let insts: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
 
     for (bench, story) in [
         (Bench::Swim, "memory-bound: every load streams past the L2"),
         (Bench::Gcc, "branch-bound: mispredictions cap the useful window"),
     ] {
         println!("== {bench} ({story}) ==");
-        println!("{:>8}  {:>10}  {:>14}  {:>9}", "IQ size", "ideal IPC", "segmented IPC", "retained");
+        println!(
+            "{:>8}  {:>10}  {:>14}  {:>9}",
+            "IQ size", "ideal IPC", "segmented IPC", "retained"
+        );
         let rows = sweep(bench, insts);
         for (n, ideal, seg) in &rows {
             println!("{n:>8}  {ideal:>10.3}  {seg:>14.3}  {:>8.0}%", 100.0 * seg / ideal);

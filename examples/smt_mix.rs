@@ -31,7 +31,9 @@ fn main() {
         .next()
         .unwrap_or_else(|| "swim,gcc".to_string())
         .split(',')
-        .map(|s| Bench::from_name(s.trim()).unwrap_or_else(|bad| panic!("unknown benchmark `{bad}`")))
+        .map(|s| {
+            Bench::from_name(s.trim()).unwrap_or_else(|bad| panic!("unknown benchmark `{bad}`"))
+        })
         .collect();
     let insts: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(60_000);
     let names: Vec<&str> = mix.iter().map(|b| b.name()).collect();

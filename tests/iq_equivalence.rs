@@ -1,6 +1,8 @@
 //! Degenerate-configuration equivalences the paper asserts.
 
-use chainiq::core::{DispatchInfo, FuPool, InstTag, IssueQueue, SegmentedIq, SegmentedIqConfig, SrcOperand};
+use chainiq::core::{
+    DispatchInfo, FuPool, InstTag, IssueQueue, SegmentedIq, SegmentedIqConfig, SrcOperand,
+};
 use chainiq::{run_one, ArchReg, Bench, IdealIq, IqKind, OpClass};
 
 /// §6.3: "At an IQ size of 32 entries, our scheme degenerates to a single
@@ -45,7 +47,12 @@ fn same_issue_order_for_a_serial_chain() {
             };
             iq.dispatch(
                 0,
-                DispatchInfo::compute(InstTag(i), OpClass::IntAlu, ArchReg::int(i as u8 + 1), &srcs),
+                DispatchInfo::compute(
+                    InstTag(i),
+                    OpClass::IntAlu,
+                    ArchReg::int(i as u8 + 1),
+                    &srcs,
+                ),
             )
             .unwrap();
         }

@@ -184,7 +184,12 @@ fn power_model_accounts_a_real_run() {
     assert!(e.copies_pj > 0.0, "promotions must show up as copy energy");
     assert!(e.per_instruction_pj(r.stats.committed) > 0.0);
     // Energy components are all non-negative and sum to the total.
-    let sum = e.dispatch_pj + e.copies_pj + e.cam_pj + e.delay_compare_pj + e.select_pj
-        + e.wires_pj + e.clock_pj;
+    let sum = e.dispatch_pj
+        + e.copies_pj
+        + e.cam_pj
+        + e.delay_compare_pj
+        + e.select_pj
+        + e.wires_pj
+        + e.clock_pj;
     assert!((sum - e.total_pj()).abs() < 1e-6);
 }

@@ -13,7 +13,14 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "== cargo clippy --offline (-D warnings)"
+cargo clippy --offline --workspace -- -D warnings
+
 echo "== cargo fmt --check"
 cargo fmt --check
+
+echo "== sweep smoke: fig3 on 2 workers at a small sample"
+CHAINIQ_SAMPLE=2000 CHAINIQ_JOBS=2 \
+    cargo run -p chainiq-bench --release --bin fig3 --offline >/dev/null
 
 echo "ci.sh: all checks passed"

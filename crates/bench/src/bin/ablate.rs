@@ -6,8 +6,8 @@
 //! delta. (The predictors' ablation — base/hmp/lrp/comb — is Figure 2's
 //! job; this binary covers the *structural* choices.)
 
-use chainiq::{run_one, Bench, IqKind, SegmentedIqConfig};
-use chainiq_bench::{sample_size, TextTable, DEFAULT_SEED};
+use chainiq::{Bench, IqKind, SegmentedIqConfig};
+use chainiq_bench::{sample_size, PredictorConfig, Sweep, TextTable};
 
 fn variants() -> Vec<(&'static str, SegmentedIqConfig)> {
     let base = SegmentedIqConfig::paper(512, Some(128));
@@ -37,22 +37,32 @@ fn main() {
     println!("Ablations: 512-entry segmented IQ, 128 chains, HMP+LRP");
     println!("({sample} committed instructions per run; cells are IPC, deltas vs full)\n");
 
-    let names: Vec<&str> = variants().iter().map(|(n, _)| *n).collect();
+    let benches = [Bench::Swim, Bench::Mgrid, Bench::Equake, Bench::Gcc, Bench::Vortex];
+    let variants = variants();
+
+    // Row-major bench × variant grid, one parallel sweep. Comb = both
+    // predictors on, matching the old `run_one(.., true, true, ..)`.
+    let mut sweep = Sweep::new();
+    for bench in benches {
+        for (_, cfg) in &variants {
+            sweep.add(bench, IqKind::Segmented(*cfg), PredictorConfig::Comb, sample);
+        }
+    }
+    let results = sweep.run();
+
     let mut header = vec!["bench"];
-    header.extend(names.iter());
+    header.extend(variants.iter().map(|(n, _)| *n));
     let mut t = TextTable::new(&header);
 
-    for bench in [Bench::Swim, Bench::Mgrid, Bench::Equake, Bench::Gcc, Bench::Vortex] {
+    for (bi, bench) in benches.iter().enumerate() {
         let mut cells = vec![bench.name().to_string()];
-        let mut full_ipc = 0.0;
-        for (i, (_, cfg)) in variants().into_iter().enumerate() {
-            let r =
-                run_one(bench.profile(), IqKind::Segmented(cfg), true, true, sample, DEFAULT_SEED);
-            if i == 0 {
-                full_ipc = r.ipc();
-                cells.push(format!("{:.3}", full_ipc));
+        let full_ipc = results[bi * variants.len()].ipc();
+        for vi in 0..variants.len() {
+            let ipc = results[bi * variants.len() + vi].ipc();
+            if vi == 0 {
+                cells.push(format!("{full_ipc:.3}"));
             } else {
-                cells.push(format!("{:+.1}%", 100.0 * (r.ipc() / full_ipc - 1.0)));
+                cells.push(format!("{:+.1}%", 100.0 * (ipc / full_ipc - 1.0)));
             }
         }
         t.row(&cells);

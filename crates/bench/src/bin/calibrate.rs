@@ -3,11 +3,21 @@
 //! workload profiles (DESIGN.md §2) and sanity-check result shapes.
 
 use chainiq::Bench;
-use chainiq_bench::{ideal, run, sample_size, segmented, PredictorConfig, TextTable};
+use chainiq_bench::{ideal, sample_size, segmented, PredictorConfig, Sweep, TextTable};
 
 fn main() {
     let sample = sample_size();
     println!("chainiq calibration — {sample} committed instructions per run\n");
+
+    // Three runs per benchmark (ideal-32, ideal-512, seg-512), row-major.
+    let mut sweep = Sweep::new();
+    for bench in Bench::ALL {
+        sweep.add(bench, ideal(32), PredictorConfig::Base, sample);
+        sweep.add(bench, ideal(512), PredictorConfig::Base, sample);
+        sweep.add(bench, segmented(512, Some(128)), PredictorConfig::Comb, sample);
+    }
+    let results = sweep.run();
+
     let mut t = TextTable::new(&[
         "bench",
         "ipc@32",
@@ -20,10 +30,10 @@ fn main() {
         "rob-occ",
         "br-frac",
     ]);
-    for bench in Bench::ALL {
-        let small = run(bench, ideal(32), PredictorConfig::Base, sample);
-        let big = run(bench, ideal(512), PredictorConfig::Base, sample);
-        let seg = run(bench, segmented(512, Some(128)), PredictorConfig::Comb, sample);
+    for (bi, bench) in Bench::ALL.iter().enumerate() {
+        let small = &results[bi * 3];
+        let big = &results[bi * 3 + 1];
+        let seg = &results[bi * 3 + 2];
         let s = &big.stats;
         t.row(&[
             bench.name().into(),

@@ -9,7 +9,7 @@
 //! quadratically with its size."
 
 use chainiq::{Bench, QueueGeometry, Technology};
-use chainiq_bench::{ideal, run, sample_size, segmented, PredictorConfig, TextTable};
+use chainiq_bench::{ideal, sample_size, segmented, PredictorConfig, Sweep, TextTable};
 
 const SIZES: [usize; 5] = [32, 64, 128, 256, 512];
 
@@ -30,6 +30,18 @@ fn main() {
     }
     println!();
 
+    let benches =
+        [Bench::Swim, Bench::Mgrid, Bench::Equake, Bench::Applu, Bench::Vortex, Bench::Gcc];
+
+    // Three runs per benchmark (mono-32, mono-512, seg-512), row-major.
+    let mut sweep = Sweep::new();
+    for bench in benches {
+        sweep.add(bench, ideal(32), PredictorConfig::Base, sample);
+        sweep.add(bench, ideal(512), PredictorConfig::Base, sample);
+        sweep.add(bench, segmented(512, Some(128)), PredictorConfig::Comb, sample);
+    }
+    let results = sweep.run();
+
     let mut t = TextTable::new(&[
         "bench",
         "mono-32 BIPS",
@@ -38,11 +50,10 @@ fn main() {
         "seg-512/best-mono",
     ]);
     let mut wins = 0usize;
-    for bench in [Bench::Swim, Bench::Mgrid, Bench::Equake, Bench::Applu, Bench::Vortex, Bench::Gcc]
-    {
-        let mono32 = run(bench, ideal(32), PredictorConfig::Base, sample);
-        let mono512 = run(bench, ideal(512), PredictorConfig::Base, sample);
-        let seg512 = run(bench, segmented(512, Some(128)), PredictorConfig::Comb, sample);
+    for (bi, bench) in benches.iter().enumerate() {
+        let mono32 = &results[bi * 3];
+        let mono512 = &results[bi * 3 + 1];
+        let seg512 = &results[bi * 3 + 2];
 
         let b32 = tech.bips(QueueGeometry::monolithic(32, 8), mono32.ipc());
         let b512 = tech.bips(QueueGeometry::monolithic(512, 8), mono512.ipc());

@@ -9,13 +9,23 @@
 //! granularity."
 
 use chainiq::{Bench, EnergyModel};
-use chainiq_bench::{ideal, run, sample_size, segmented, PredictorConfig, TextTable};
+use chainiq_bench::{ideal, sample_size, segmented, PredictorConfig, Sweep, TextTable};
 
 fn main() {
     let sample = sample_size();
     let model = EnergyModel::default();
     println!("Dynamic energy per committed instruction (synthetic pJ; ratios meaningful)");
     println!("512-entry queues, {sample} committed instructions per run\n");
+
+    let benches = [Bench::Swim, Bench::Mgrid, Bench::Equake, Bench::Gcc, Bench::Vortex];
+
+    // Two runs per benchmark (monolithic, segmented), row-major.
+    let mut sweep = Sweep::new();
+    for bench in benches {
+        sweep.add(bench, ideal(512), PredictorConfig::Base, sample);
+        sweep.add(bench, segmented(512, Some(128)), PredictorConfig::Comb, sample);
+    }
+    let results = sweep.run();
 
     let mut t = TextTable::new(&[
         "bench",
@@ -26,9 +36,9 @@ fn main() {
         "mono CAM %",
         "gateable",
     ]);
-    for bench in [Bench::Swim, Bench::Mgrid, Bench::Equake, Bench::Gcc, Bench::Vortex] {
-        let mono = run(bench, ideal(512), PredictorConfig::Base, sample);
-        let seg = run(bench, segmented(512, Some(128)), PredictorConfig::Comb, sample);
+    for (bi, bench) in benches.iter().enumerate() {
+        let mono = &results[bi * 2];
+        let seg = &results[bi * 2 + 1];
         let segstats = seg.segmented.as_ref().expect("segmented stats");
 
         let e_mono = model.monolithic_energy_from_stats(512, &mono.stats.iq);

@@ -9,7 +9,7 @@
 
 use chainiq::core::{SegmentedIq, SegmentedIqConfig};
 use chainiq::{AddressSpace, Bench, IdealIq, SimConfig, SimStats, SmtPipeline, SyntheticWorkload};
-use chainiq_bench::{sample_size, TextTable, DEFAULT_SEED};
+use chainiq_bench::{sample_size, sweep_map, TextTable, DEFAULT_SEED};
 
 // Not a multiple of any predictor-table size, so thread contexts do not
 // alias exactly onto the same PHT/BTB/HMP slots.
@@ -62,12 +62,19 @@ fn main() {
         ("swim+mgrid+gcc+twolf", vec![Bench::Swim, Bench::Mgrid, Bench::Gcc, Bench::Twolf]),
     ];
 
+    // SMT runs are not plain `RunSpec`s (each point is a thread mix over
+    // a custom pipeline), so fan them out with the generic sweep_map:
+    // one job per mix, each running its ideal + segmented pair.
+    let rows = sweep_map("smt mix", &mixes, |(_, mix)| {
+        let ideal = run_ideal(mix, sample);
+        let (seg, chains) = run_segmented(mix, sample);
+        (ideal, seg, chains)
+    });
+
     let mut t = TextTable::new(&["mix", "ideal IPC", "seg IPC", "retention", "mean chains"]);
-    for (label, mix) in mixes {
-        let ideal = run_ideal(&mix, sample);
-        let (seg, chains) = run_segmented(&mix, sample);
+    for ((label, _), (ideal, seg, chains)) in mixes.iter().zip(&rows) {
         t.row(&[
-            label.to_string(),
+            (*label).to_string(),
             format!("{:.3}", ideal.ipc()),
             format!("{:.3}", seg.ipc()),
             format!("{:.0}%", 100.0 * seg.ipc() / ideal.ipc()),

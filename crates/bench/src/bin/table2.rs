@@ -8,7 +8,7 @@
 //! headed by loads in the base configuration (S4, ~65%).
 
 use chainiq::Bench;
-use chainiq_bench::{run, sample_size, segmented, PredictorConfig, TextTable};
+use chainiq_bench::{sample_size, segmented, PredictorConfig, Sweep, TextTable};
 
 fn main() {
     let sample = sample_size();
@@ -25,6 +25,16 @@ fn main() {
         Bench::Twolf,
         Bench::Vortex,
     ];
+
+    // One parallel sweep over the bench × predictor grid; specs are
+    // submitted row-major, so result index = bench * 4 + predictor.
+    let mut sweep = Sweep::new();
+    for bench in benches {
+        for pred in PredictorConfig::ALL {
+            sweep.add(bench, segmented(512, None), pred, sample);
+        }
+    }
+    let results = sweep.run();
 
     let mut t = TextTable::new(&[
         "bench",
@@ -43,10 +53,10 @@ fn main() {
     let mut hmp_acc_min: f64 = 1.0;
     let mut hmp_cov_sum = 0.0;
 
-    for bench in benches {
+    for (bi, bench) in benches.iter().enumerate() {
         let mut cells = vec![bench.name().to_string()];
         for (pi, pred) in PredictorConfig::ALL.iter().enumerate() {
-            let r = run(bench, segmented(512, None), *pred, sample);
+            let r = &results[bi * PredictorConfig::ALL.len() + pi];
             let seg = r.segmented.as_ref().expect("segmented stats");
             avg_sums[pi] += seg.chains.mean_live();
             cells.push(format!("{:.0}", seg.chains.mean_live()));

@@ -1,0 +1,83 @@
+//! Centralized environment-knob parsing.
+//!
+//! Every `CHAINIQ_*` environment variable the harness reads goes through
+//! [`knob`], so a typo (`CHAINIQ_SAMPLE=300k`, `CHAINIQ_BENCH_SAMPLES=abc`)
+//! produces a stderr warning naming the rejected value and the default
+//! that will be used instead — rather than silently running the wrong
+//! experiment.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Reads `name` from the environment and parses it as `T`.
+///
+/// * Unset → `default`, silently (the normal case).
+/// * Set and parsable → the parsed value.
+/// * Set but unparsable (or not UTF-8) → `default`, with a warning on
+///   stderr quoting the rejected value.
+#[must_use]
+pub fn knob<T: FromStr + Display>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(raw) => match raw.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("warning: {name}={raw:?} is not a valid value; using default {default}");
+                default
+            }
+        },
+        Err(std::env::VarError::NotPresent) => default,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            eprintln!("warning: {name}={raw:?} is not UTF-8; using default {default}");
+            default
+        }
+    }
+}
+
+/// Worker-thread count for the sweep executor: `CHAINIQ_JOBS`, defaulting
+/// to [`std::thread::available_parallelism`]. `CHAINIQ_JOBS=0` is
+/// rejected (with a warning) the same way a non-numeric value is.
+#[must_use]
+pub fn jobs() -> usize {
+    let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let j = knob("CHAINIQ_JOBS", auto);
+    if j == 0 {
+        eprintln!("warning: CHAINIQ_JOBS=0 is not a valid value; using default {auto}");
+        auto
+    } else {
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test uses its own variable name so parallel test threads
+    // cannot race on shared environment state.
+
+    #[test]
+    fn unset_uses_default() {
+        assert_eq!(knob("CHAINIQ_TEST_KNOB_UNSET", 42u64), 42);
+    }
+
+    #[test]
+    fn set_and_valid_parses() {
+        std::env::set_var("CHAINIQ_TEST_KNOB_VALID", "7");
+        assert_eq!(knob("CHAINIQ_TEST_KNOB_VALID", 42u64), 7);
+    }
+
+    #[test]
+    fn malformed_falls_back_to_default() {
+        // The regression the issue calls out: "300k" and "abc" used to be
+        // swallowed by `.and_then(parse).unwrap_or(default)`.
+        std::env::set_var("CHAINIQ_TEST_KNOB_BAD", "300k");
+        assert_eq!(knob("CHAINIQ_TEST_KNOB_BAD", 300_000u64), 300_000);
+        std::env::set_var("CHAINIQ_TEST_KNOB_BAD2", "abc");
+        assert_eq!(knob("CHAINIQ_TEST_KNOB_BAD2", 5u32), 5);
+    }
+
+    #[test]
+    fn jobs_is_positive() {
+        assert!(jobs() >= 1);
+    }
+}

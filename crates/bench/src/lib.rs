@@ -4,10 +4,15 @@
 
 #![deny(missing_docs)]
 
+pub mod knob;
+pub mod pool;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 
+pub use knob::{jobs, knob};
 pub use runner::{BenchRunner, Measurement};
+pub use sweep::{sweep_map, RunSpec, Sweep};
 pub use table::TextTable;
 
 use chainiq::{Bench, IqKind, PrescheduleConfig, RunResult, SegmentedIqConfig};
@@ -34,10 +39,11 @@ pub const DEFAULT_SEED: u64 = 20020525; // the ISCA 2002 conference date
 
 /// Reads the sample size from `CHAINIQ_SAMPLE` (committed instructions
 /// per run), defaulting to [`DEFAULT_SAMPLE`]. The experiment binaries
-/// honor this so CI can run them quickly.
+/// honor this so CI can run them quickly. A set-but-unparsable value
+/// warns on stderr and falls back to the default (see [`knob::knob`]).
 #[must_use]
 pub fn sample_size() -> u64 {
-    std::env::var("CHAINIQ_SAMPLE").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SAMPLE)
+    knob::knob("CHAINIQ_SAMPLE", DEFAULT_SAMPLE)
 }
 
 /// The four predictor configurations of Figure 2, in bar order.
@@ -82,10 +88,12 @@ impl PredictorConfig {
     }
 }
 
-/// Runs one benchmark on one queue design with the shared defaults.
+/// Runs one benchmark on one queue design with the shared defaults,
+/// serially on the calling thread. Grids of runs should go through
+/// [`Sweep`] instead, which fans out across `CHAINIQ_JOBS` workers.
 #[must_use]
 pub fn run(bench: Bench, kind: IqKind, pred: PredictorConfig, sample: u64) -> RunResult {
-    chainiq::run_one(bench.profile(), kind, pred.hmp(), pred.lrp(), sample, DEFAULT_SEED)
+    RunSpec::new(bench, kind, pred, sample).execute()
 }
 
 /// The segmented queue of the paper's main experiments: 32-entry

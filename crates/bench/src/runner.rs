@@ -17,8 +17,10 @@
 //!   `results/` at the repo root).
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
+use crate::knob::knob;
 use crate::table::TextTable;
 
 /// Timing summary of one benchmark scenario (all times nanoseconds).
@@ -69,8 +71,39 @@ pub struct BenchRunner {
     results: Vec<Measurement>,
 }
 
-fn env_u32(name: &str, default: u32) -> u32 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+/// Median of an already-sorted sample list. For even counts this is the
+/// mean of the two middle elements (rounded down to whole nanoseconds);
+/// taking `sorted[len / 2]` — the *upper* middle — would bias every
+/// even-k median upward.
+fn median_ns(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        ((u128::from(sorted[n / 2 - 1]) + u128::from(sorted[n / 2])) / 2) as u64
+    }
+}
+
+/// The default results directory, resolved at **runtime**: walk up from
+/// the executable's location, then from the current directory, to the
+/// nearest enclosing workspace root (a `Cargo.toml` declaring
+/// `[workspace]`) and use its `results/`. Falls back to `./results`.
+/// Compile-time `env!("CARGO_MANIFEST_DIR")` would bake the build host's
+/// absolute path into the binary, which goes stale the moment the binary
+/// is copied to another machine.
+fn default_results_dir() -> PathBuf {
+    let starts = [std::env::current_exe().ok(), std::env::current_dir().ok()];
+    for start in starts.iter().flatten() {
+        for dir in start.ancestors() {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir.join("results");
+                }
+            }
+        }
+    }
+    PathBuf::from("./results")
 }
 
 impl BenchRunner {
@@ -80,8 +113,8 @@ impl BenchRunner {
     pub fn new(suite: impl Into<String>) -> Self {
         BenchRunner {
             suite: suite.into(),
-            warmup: env_u32("CHAINIQ_BENCH_WARMUP", 1),
-            samples: env_u32("CHAINIQ_BENCH_SAMPLES", 5).max(1),
+            warmup: knob("CHAINIQ_BENCH_WARMUP", 1u32),
+            samples: knob("CHAINIQ_BENCH_SAMPLES", 5u32).max(1),
             results: Vec::new(),
         }
     }
@@ -123,7 +156,7 @@ impl BenchRunner {
         sorted.sort_unstable();
         let m = Measurement {
             name,
-            median_ns: sorted[sorted.len() / 2],
+            median_ns: median_ns(&sorted),
             min_ns: sorted[0],
             max_ns: *sorted.last().expect("samples >= 1"),
             samples_ns,
@@ -191,8 +224,8 @@ impl BenchRunner {
         println!("\n{} ({} samples, warmup {}):", self.suite, self.samples, self.warmup);
         println!("{}", self.render());
         let dir = std::env::var("CHAINIQ_BENCH_DIR")
-            .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
-        let path = std::path::Path::new(&dir).join(format!("{}.json", self.suite));
+            .map_or_else(|_| default_results_dir(), PathBuf::from);
+        let path = dir.join(format!("{}.json", self.suite));
         match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, self.to_json())) {
             Ok(()) => {
                 println!("wrote {}", path.display());
@@ -283,6 +316,33 @@ mod tests {
         let s = r.render();
         assert!(s.contains("first") && s.contains("second"));
         assert!(s.contains("Melem/s"));
+    }
+
+    #[test]
+    fn even_sample_median_averages_the_middle_pair() {
+        // Regression: `sorted[len / 2]` reported 10 here — the upper
+        // middle — biasing every even-k median upward.
+        assert_eq!(median_ns(&[1, 2, 3, 10]), 2); // (2 + 3) / 2, floored
+        assert_eq!(median_ns(&[4, 10]), 7);
+        assert_eq!(median_ns(&[u64::MAX - 1, u64::MAX]), u64::MAX - 1); // no overflow
+    }
+
+    #[test]
+    fn odd_sample_median_is_the_middle_element() {
+        assert_eq!(median_ns(&[5]), 5);
+        assert_eq!(median_ns(&[1, 7, 100]), 7);
+    }
+
+    #[test]
+    fn default_results_dir_is_the_workspace_results() {
+        // Under `cargo test` the walk-up from the test executable (in
+        // `target/...`) must find the workspace root, not bake in a path.
+        let dir = default_results_dir();
+        assert_eq!(dir.file_name().and_then(|n| n.to_str()), Some("results"));
+        let root = dir.parent().expect("results dir has a parent");
+        let manifest =
+            std::fs::read_to_string(root.join("Cargo.toml")).expect("workspace manifest");
+        assert!(manifest.contains("[workspace]"));
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! The parallel sweep executor: every experiment binary is a grid of
+//! fully independent simulations, so the harness builds a list of
+//! [`RunSpec`]s, fans them out across `CHAINIQ_JOBS` workers (default:
+//! all hardware threads), and collects the [`RunResult`]s **by
+//! submission index**.
+//!
+//! Each simulation is deterministic given its spec, so a sweep's results
+//! — and therefore every rendered table — are byte-identical whatever
+//! the worker count; parallelism only changes wall-clock. Progress
+//! (completed/total, elapsed, spec label) is reported on stderr, keeping
+//! stdout reserved for the artifact tables.
+
+use std::time::Instant;
+
+use chainiq::{Bench, IqKind, RunResult};
+
+use crate::{knob, pool, PredictorConfig, DEFAULT_SEED};
+
+/// One point of an experiment grid: everything `chainiq::run_one` needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSpec {
+    /// Benchmark profile to simulate.
+    pub bench: Bench,
+    /// Instruction-queue design under test.
+    pub iq: IqKind,
+    /// Predictor configuration (Figure 2 bar).
+    pub pred: PredictorConfig,
+    /// Committed instructions to simulate.
+    pub sample: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A spec at the shared [`DEFAULT_SEED`].
+    #[must_use]
+    pub fn new(bench: Bench, iq: IqKind, pred: PredictorConfig, sample: u64) -> Self {
+        RunSpec { bench, iq, pred, sample, seed: DEFAULT_SEED }
+    }
+
+    /// The same spec with a different workload seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Executes this spec (serially, on the calling thread).
+    #[must_use]
+    pub fn execute(&self) -> RunResult {
+        chainiq::run_one(
+            self.bench.profile(),
+            self.iq,
+            self.pred.hmp(),
+            self.pred.lrp(),
+            self.sample,
+            self.seed,
+        )
+    }
+
+    /// Short label for progress lines, e.g. `swim/seg512/comb`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let iq = match self.iq {
+            IqKind::Ideal(n) => format!("ideal{n}"),
+            IqKind::Segmented(c) => format!("seg{}", c.capacity()),
+            IqKind::Prescheduled(c) => format!("presched{}", c.capacity()),
+            IqKind::Distance(c) => format!("dist{}", c.capacity()),
+        };
+        format!("{}/{}/{}", self.bench.name(), iq, self.pred.label())
+    }
+}
+
+/// An ordered list of run specs, executed in one parallel fan-out.
+///
+/// `push`/`add` return the spec's **submission index**; [`Sweep::run`]
+/// returns results at exactly those indices, so binaries record indices
+/// while building the grid and render tables from the collected vector.
+///
+/// # Examples
+///
+/// ```no_run
+/// use chainiq_bench::{ideal, PredictorConfig, RunSpec, Sweep};
+/// use chainiq::Bench;
+///
+/// let mut sweep = Sweep::new();
+/// let i = sweep.add(Bench::Swim, ideal(32), PredictorConfig::Base, 10_000);
+/// let results = sweep.run();
+/// println!("IPC {:.3}", results[i].ipc());
+/// ```
+#[derive(Debug, Default)]
+pub struct Sweep {
+    specs: Vec<RunSpec>,
+}
+
+impl Sweep {
+    /// An empty sweep.
+    #[must_use]
+    pub fn new() -> Self {
+        Sweep::default()
+    }
+
+    /// Appends a spec, returning its submission index.
+    pub fn push(&mut self, spec: RunSpec) -> usize {
+        self.specs.push(spec);
+        self.specs.len() - 1
+    }
+
+    /// Appends a default-seed spec, returning its submission index.
+    pub fn add(&mut self, bench: Bench, iq: IqKind, pred: PredictorConfig, sample: u64) -> usize {
+        self.push(RunSpec::new(bench, iq, pred, sample))
+    }
+
+    /// Number of queued specs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the sweep is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The queued specs, in submission order.
+    #[must_use]
+    pub fn specs(&self) -> &[RunSpec] {
+        &self.specs
+    }
+
+    /// Executes the sweep on `CHAINIQ_JOBS` workers (default: hardware
+    /// parallelism) and returns results in submission order.
+    #[must_use]
+    pub fn run(self) -> Vec<RunResult> {
+        let jobs = knob::jobs();
+        self.run_with_jobs(jobs)
+    }
+
+    /// Executes the sweep on an explicit worker count (bypassing the
+    /// `CHAINIQ_JOBS` knob — used by tests and callers that know better).
+    #[must_use]
+    pub fn run_with_jobs(self, jobs: usize) -> Vec<RunResult> {
+        let total = self.specs.len();
+        let t0 = Instant::now();
+        let mut done = 0usize;
+        let results = pool::run_indexed(
+            &self.specs,
+            jobs,
+            |_, spec| spec.execute(),
+            |i, _| {
+                done += 1;
+                eprintln!(
+                    "  [{done:>3}/{total}] {:<36} ({:.1}s elapsed)",
+                    self.specs[i].label(),
+                    t0.elapsed().as_secs_f64()
+                );
+            },
+        );
+        eprintln!(
+            "sweep: {total} runs in {:.1}s on {} worker{}",
+            t0.elapsed().as_secs_f64(),
+            jobs.max(1),
+            if jobs == 1 { "" } else { "s" }
+        );
+        results
+    }
+}
+
+/// Generic fan-out for experiment grids whose points are *not* plain
+/// `RunSpec`s (the SMT binary's thread mixes, for example): runs `f`
+/// over `items` on `CHAINIQ_JOBS` workers with the same submission-order
+/// collection and stderr progress reporting as [`Sweep::run`].
+#[must_use]
+pub fn sweep_map<J, R, F>(what: &str, items: &[J], f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    let jobs = knob::jobs();
+    let total = items.len();
+    let t0 = Instant::now();
+    let mut done = 0usize;
+    let results = pool::run_indexed(
+        items,
+        jobs,
+        |_, item| f(item),
+        |_, _| {
+            done += 1;
+            eprintln!("  [{done:>3}/{total}] {what} ({:.1}s elapsed)", t0.elapsed().as_secs_f64());
+        },
+    );
+    eprintln!("sweep: {total} {what} jobs in {:.1}s on {jobs} workers", t0.elapsed().as_secs_f64());
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ideal, segmented};
+
+    #[test]
+    fn indices_are_submission_order() {
+        let mut s = Sweep::new();
+        let a = s.add(Bench::Swim, ideal(32), PredictorConfig::Base, 1000);
+        let b = s.add(Bench::Gcc, segmented(64, Some(64)), PredictorConfig::Comb, 1000);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.specs()[a].bench, Bench::Swim);
+        assert_eq!(s.specs()[b].pred, PredictorConfig::Comb);
+    }
+
+    #[test]
+    fn labels_name_bench_queue_and_predictor() {
+        let spec = RunSpec::new(Bench::Swim, ideal(512), PredictorConfig::Base, 1000);
+        assert_eq!(spec.label(), "swim/ideal512/base");
+        let spec = RunSpec::new(Bench::Gcc, segmented(512, Some(128)), PredictorConfig::Comb, 1000);
+        assert_eq!(spec.label(), "gcc/seg512/comb");
+    }
+
+    #[test]
+    fn with_seed_overrides_default() {
+        let spec = RunSpec::new(Bench::Swim, ideal(32), PredictorConfig::Base, 1000);
+        assert_eq!(spec.seed, DEFAULT_SEED);
+        assert_eq!(spec.with_seed(7).seed, 7);
+    }
+}

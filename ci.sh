@@ -16,6 +16,9 @@ cargo test -q --offline --workspace
 echo "== cargo clippy --offline (-D warnings)"
 cargo clippy --offline --workspace -- -D warnings
 
+echo "== chainiq-analyze (project-specific invariants)"
+cargo run -p chainiq-analyze --release --offline
+
 echo "== cargo fmt --check"
 cargo fmt --check
 

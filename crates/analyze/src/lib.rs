@@ -1,0 +1,176 @@
+//! `chainiq-analyze` — in-repo static analysis enforcing the invariants
+//! chainiq's experiments rest on: determinism (no hash-order iteration,
+//! no wall clocks, no stray env reads in the model), hermeticity (no
+//! registry dependencies), and panic hygiene (a ratcheted unwrap budget).
+//!
+//! `cargo clippy` cannot express these project-specific rules, so this
+//! crate carries its own hand-rolled lexer ([`lexer`]), a token-stream
+//! rule engine ([`rules`]), a manifest checker ([`manifest`]), and a
+//! committed-baseline ratchet ([`baseline`]). The whole tool is
+//! zero-dependency, like the rest of the workspace.
+//!
+//! Entry point: [`analyze_workspace`] walks `crates/*/src/**/*.rs` plus
+//! every `Cargo.toml` and returns a [`Report`]; the `chainiq-analyze`
+//! binary turns that into `file:line: rule: message` diagnostics and an
+//! exit code. See `DESIGN.md` § Static analysis for the rule catalogue.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+use rules::{Diagnostic, PanicCounts};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything one analysis run found.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Failing findings across all rules, in deterministic (path-sorted
+    /// scan) order. Non-empty → the run fails.
+    pub diags: Vec<Diagnostic>,
+    /// Non-failing notes (e.g. "under budget, re-ratchet").
+    pub notes: Vec<String>,
+    /// Fresh per-file panic-site counts (what `--write-baseline` pins).
+    pub fresh_counts: PanicCounts,
+    /// Number of `.rs` files scanned, for the summary line.
+    pub files_scanned: usize,
+}
+
+/// Analyzes the workspace rooted at `root` (the directory holding the
+/// virtual-workspace `Cargo.toml` and `crates/`).
+///
+/// # Errors
+/// Propagates I/O failures reading the tree; a malformed committed
+/// baseline is also an error (it is machine-written).
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+
+    // Manifests: the workspace root first, then each crate, path-sorted.
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        manifest::check_manifest(
+            "Cargo.toml",
+            &fs::read_to_string(&root_manifest)?,
+            &mut report.diags,
+        );
+    }
+    for crate_dir in sorted_dirs(&root.join("crates"))? {
+        let crate_name = file_name_string(&crate_dir);
+        let manifest_path = crate_dir.join("Cargo.toml");
+        if manifest_path.is_file() {
+            manifest::check_manifest(
+                &format!("crates/{crate_name}/Cargo.toml"),
+                &fs::read_to_string(&manifest_path)?,
+                &mut report.diags,
+            );
+        }
+
+        // Sources: everything under src/, recursively, path-sorted.
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        for file in sorted_rs_files(&src_dir)? {
+            let rel = format!(
+                "crates/{crate_name}/src/{}",
+                file.strip_prefix(&src_dir)
+                    .expect("walked file lives under the src dir it came from")
+                    .display()
+            );
+            // Binary targets may unwrap at the top level; libraries may not.
+            let is_bin = rel.contains("/src/bin/") || rel.ends_with("/src/main.rs");
+            let scanned =
+                rules::scan_source(&crate_name, &rel, &fs::read_to_string(&file)?, !is_bin);
+            report.diags.extend(scanned.diags);
+            if scanned.panic_sites > 0 {
+                report.fresh_counts.insert(rel, scanned.panic_sites);
+            }
+            report.files_scanned += 1;
+        }
+    }
+
+    // Ratchet: compare fresh counts against the committed baseline.
+    let baseline_path = root.join(baseline::BASELINE_FILE);
+    let committed = if baseline_path.is_file() {
+        baseline::parse(&fs::read_to_string(&baseline_path)?).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e} (regenerate with --write-baseline)", baseline::BASELINE_FILE),
+            )
+        })?
+    } else {
+        PanicCounts::new()
+    };
+    let ratchet = baseline::compare(&committed, &report.fresh_counts, |f| root.join(f).is_file());
+    report.diags.extend(ratchet.diags);
+    report.notes.extend(ratchet.notes);
+
+    Ok(report)
+}
+
+/// Regenerates `analyze-baseline.toml` from fresh counts. Returns the
+/// path written. Rule diagnostics other than P1 still fail the run at
+/// the CLI level, so `--write-baseline` cannot be used to bless e.g. a
+/// new `HashMap`.
+///
+/// # Errors
+/// Propagates I/O failures from the scan or the write.
+pub fn write_baseline(root: &Path) -> io::Result<PathBuf> {
+    let report = analyze_workspace(root)?;
+    let path = root.join(baseline::BASELINE_FILE);
+    fs::write(&path, baseline::render(&report.fresh_counts))?;
+    Ok(path)
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`. Mirrors the
+/// runtime discovery the bench runner uses — nothing is baked in at
+/// compile time, so the binary works from any cwd inside the repo.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    start.ancestors().find_map(|dir| {
+        let manifest = dir.join("Cargo.toml");
+        let text = fs::read_to_string(&manifest).ok()?;
+        text.contains("[workspace]").then(|| dir.to_path_buf())
+    })
+}
+
+/// Child directories of `dir`, sorted by name so diagnostics come out in
+/// the same order on every OS (raw `read_dir` order is arbitrary).
+fn sorted_dirs(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+/// All `.rs` files under `dir`, recursively, path-sorted.
+fn sorted_rs_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)?.collect::<io::Result<Vec<_>>>()? {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn file_name_string(p: &Path) -> String {
+    p.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+}

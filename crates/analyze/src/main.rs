@@ -1,0 +1,142 @@
+//! CLI for `chainiq-analyze`.
+//!
+//! ```text
+//! cargo run -p chainiq-analyze --offline               # check, exit 1 on findings
+//! cargo run -p chainiq-analyze --offline -- --write-baseline
+//! cargo run -p chainiq-analyze --offline -- --root /path/to/workspace
+//! ```
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use chainiq_analyze::rules::RuleId;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+chainiq-analyze: enforce chainiq's determinism, hermeticity and panic-hygiene invariants
+
+USAGE:
+    chainiq-analyze [--root DIR] [--write-baseline]
+
+OPTIONS:
+    --root DIR         analyze the workspace at DIR (default: walk up from cwd)
+    --write-baseline   regenerate analyze-baseline.toml from current panic-site counts
+    --help             print this help
+
+Diagnostics are `file:line: rule-id: message`. Suppress a finding inline with
+`// chainiq-analyze: allow(RULE, reason)` — the reason is mandatory.
+Rules: D1 hash collections in sim crates; D2 wall clocks outside bench/devtest;
+D3 env reads outside bench's knob.rs; H1 registry dependencies; P1 panic-site
+budget (ratcheted via analyze-baseline.toml); U1 missing #![forbid(unsafe_code)];
+A0 malformed suppression; B1 stale baseline entry.";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--write-baseline" => write_baseline = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory argument"),
+            },
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root =
+        match root.or_else(discover_root) {
+            Some(r) => r,
+            None => return usage_error(
+                "no workspace root found walking up from the current directory; pass --root DIR",
+            ),
+        };
+
+    if write_baseline {
+        return run_write_baseline(&root);
+    }
+    run_check(&root)
+}
+
+fn discover_root() -> Option<PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    chainiq_analyze::find_workspace_root(&cwd)
+}
+
+fn run_check(root: &std::path::Path) -> ExitCode {
+    let report = match chainiq_analyze::analyze_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chainiq-analyze: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for note in &report.notes {
+        println!("note: {note}");
+    }
+    if report.diags.is_empty() {
+        println!(
+            "chainiq-analyze: {} files clean ({} baselined panic sites)",
+            report.files_scanned,
+            report.fresh_counts.values().sum::<u32>()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for d in &report.diags {
+        println!("{d}");
+    }
+    println!(
+        "chainiq-analyze: {} finding(s) across {} files",
+        report.diags.len(),
+        report.files_scanned
+    );
+    ExitCode::from(1)
+}
+
+fn run_write_baseline(root: &std::path::Path) -> ExitCode {
+    // Refuse to ratchet while non-P1 rules are failing: --write-baseline
+    // must not become a way to bless a new HashMap or registry dep.
+    let report = match chainiq_analyze::analyze_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chainiq-analyze: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let blocking: Vec<_> =
+        report.diags.iter().filter(|d| !matches!(d.rule, RuleId::P1 | RuleId::B1)).collect();
+    if !blocking.is_empty() {
+        for d in &blocking {
+            println!("{d}");
+        }
+        eprintln!("chainiq-analyze: fix the findings above before writing a new baseline");
+        return ExitCode::from(1);
+    }
+    match chainiq_analyze::write_baseline(root) {
+        Ok(path) => {
+            println!(
+                "chainiq-analyze: wrote {} ({} panic sites across {} files)",
+                path.display(),
+                report.fresh_counts.values().sum::<u32>(),
+                report.fresh_counts.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("chainiq-analyze: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("chainiq-analyze: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,766 @@
+//! The rule engine: walks a file's token stream and reports violations
+//! of the determinism / hermeticity / panic-hygiene rules.
+//!
+//! Rules over *source* (this module; manifests are checked in
+//! [`crate::manifest`], the ratchet in [`crate::baseline`]):
+//!
+//! * **D1** — no `HashMap`/`HashSet` in simulation crates. Hash-map
+//!   iteration order varies run to run; one `for … in &map` inside the
+//!   timing model silently breaks the bit-for-bit reproducibility every
+//!   experiment depends on. Rather than attempt flow analysis to prove a
+//!   particular map is never iterated, the rule bans the types outright
+//!   in sim crates — `BTreeMap`/`BTreeSet` are the deterministic
+//!   drop-ins, and a lookup-only map that must stay hashed can carry an
+//!   inline suppression.
+//! * **D2** — no `std::time` (`Instant`, `SystemTime`) outside
+//!   `crates/bench` and `crates/devtest`. Wall-clock reads in the model
+//!   are hidden inputs.
+//! * **D3** — no `std::env::var` (or `var_os`/`vars`) outside
+//!   `crates/bench/src/knob.rs`, the one blessed knob-parsing module.
+//!   Scattered env reads are hidden inputs ci.sh cannot see.
+//! * **P1** — count `.unwrap()` / `.expect(…)` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in non-test code. The
+//!   count per file is ratcheted against `analyze-baseline.toml`: the
+//!   existing debt does not fail CI, any *increase* does.
+//! * **U1** — every crate's `src/lib.rs` must carry
+//!   `#![forbid(unsafe_code)]`.
+//! * **A0** — a suppression comment without a reason is itself a
+//!   violation.
+//!
+//! Test code — `#[cfg(test)]` items and `#[test]` functions — is exempt
+//! from every rule: tests may use wall clocks, unwraps and hash maps
+//! freely.
+//!
+//! # Suppression
+//!
+//! `// chainiq-analyze: allow(D1, why this occurrence is sound)` on the
+//! same line or the line directly above an occurrence suppresses it. The
+//! reason is mandatory (**A0**).
+
+use crate::lexer::{lex, TokKind, Token};
+use std::collections::BTreeMap;
+
+/// Crate directory names (under `crates/`) whose code is part of the
+/// simulation proper and therefore subject to D1.
+pub const SIM_CRATES: &[&str] = &[
+    "baseline", "chainiq", "circuit", "core", "cpu", "isa", "mem", "power", "predict", "workload",
+];
+
+/// Crates allowed to read wall clocks (D2): the bench harness times
+/// experiment wall-clock, and the devtest harness reports case timing.
+pub const TIME_ALLOWED_CRATES: &[&str] = &["bench", "devtest"];
+
+/// The one file allowed to read the environment (D3).
+pub const ENV_ALLOWED_FILE: &str = "crates/bench/src/knob.rs";
+
+/// Identifiers of the rules, as they appear in diagnostics and
+/// suppression comments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Hash collections in sim crates.
+    D1,
+    /// Wall-clock reads outside bench/devtest.
+    D2,
+    /// Environment reads outside the knob module.
+    D3,
+    /// Registry (non-workspace) dependency in a manifest.
+    H1,
+    /// Panic-site budget exceeded.
+    P1,
+    /// Missing `#![forbid(unsafe_code)]` in a crate root.
+    U1,
+    /// Malformed suppression comment.
+    A0,
+    /// Stale baseline entry (file no longer exists).
+    B1,
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::H1 => "H1",
+            RuleId::P1 => "P1",
+            RuleId::U1 => "U1",
+            RuleId::A0 => "A0",
+            RuleId::B1 => "B1",
+        })
+    }
+}
+
+impl RuleId {
+    fn from_str_id(s: &str) -> Option<RuleId> {
+        match s {
+            "D1" => Some(RuleId::D1),
+            "D2" => Some(RuleId::D2),
+            "D3" => Some(RuleId::D3),
+            "H1" => Some(RuleId::H1),
+            "P1" => Some(RuleId::P1),
+            "U1" => Some(RuleId::U1),
+            "A0" => Some(RuleId::A0),
+            "B1" => Some(RuleId::B1),
+            _ => None,
+        }
+    }
+}
+
+/// One finding, formatted as `file:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line (0 for file-level findings such as H1 and B1).
+    pub line: u32,
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Result of scanning one source file.
+#[derive(Debug, Default)]
+pub struct SourceReport {
+    /// Rule violations (D1/D2/D3/U1/A0) found in the file.
+    pub diags: Vec<Diagnostic>,
+    /// Unsuppressed P1 panic sites in non-test code (compared against the
+    /// baseline by the caller).
+    pub panic_sites: u32,
+}
+
+/// The comment marker that introduces a suppression.
+const SUPPRESS_MARKER: &str = "chainiq-analyze:";
+
+#[derive(Debug)]
+struct Suppression {
+    rule: RuleId,
+    /// Lines this suppression covers: its own and the next.
+    lines: [u32; 2],
+}
+
+/// Parses suppression comments out of the token stream. Malformed ones
+/// (no `allow(...)`, unknown rule id, missing reason) produce A0
+/// diagnostics.
+fn collect_suppressions(
+    file: &str,
+    toks: &[Token<'_>],
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in toks {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let Some(pos) = t.text.find(SUPPRESS_MARKER) else {
+            continue;
+        };
+        let rest = t.text[pos + SUPPRESS_MARKER.len()..].trim_start();
+        let bad = |msg: &str, diags: &mut Vec<Diagnostic>| {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: t.line,
+                rule: RuleId::A0,
+                message: format!(
+                    "{msg} — write `// chainiq-analyze: allow(RULE, reason)` with a non-empty reason"
+                ),
+            });
+        };
+        let Some(inner) = rest.strip_prefix("allow(").and_then(|r| r.rfind(')').map(|e| &r[..e]))
+        else {
+            bad("suppression comment without a well-formed `allow(...)`", diags);
+            continue;
+        };
+        let (rule_str, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (inner.trim(), ""),
+        };
+        let Some(rule) = RuleId::from_str_id(rule_str) else {
+            bad(&format!("suppression names unknown rule `{rule_str}`"), diags);
+            continue;
+        };
+        if reason.is_empty() {
+            bad(&format!("suppression of {rule} is missing its mandatory reason"), diags);
+            continue;
+        }
+        out.push(Suppression { rule, lines: [t.line, t.line + 1] });
+    }
+    out
+}
+
+fn is_suppressed(sups: &[Suppression], rule: RuleId, line: u32) -> bool {
+    sups.iter().any(|s| s.rule == rule && s.lines.contains(&line))
+}
+
+/// Marks token ranges that belong to test-only items: an item preceded by
+/// `#[cfg(test)]` or `#[test]` (attributes stacked in any order), covered
+/// to the end of its brace block or terminating semicolon.
+fn test_mask(toks: &[Token<'_>]) -> Vec<bool> {
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut mask = vec![false; toks.len()];
+    let at = |ci: usize| -> Option<&Token<'_>> { code.get(ci).map(|&i| &toks[i]) };
+    let is_punct =
+        |ci: usize, p: &str| at(ci).is_some_and(|t| t.kind == TokKind::Punct && t.text == p);
+    let is_ident =
+        |ci: usize, s: &str| at(ci).is_some_and(|t| t.kind == TokKind::Ident && t.text == s);
+
+    // Advances past one `#[...]` attribute starting at `ci` (which must
+    // point at `#`); returns (end, is_test_gate).
+    let scan_attr = |mut ci: usize| -> (usize, bool) {
+        let start = ci;
+        ci += 1; // '#'
+        if is_punct(ci, "!") {
+            ci += 1; // inner attribute `#![...]` — never a test gate
+        }
+        if !is_punct(ci, "[") {
+            return (ci, false);
+        }
+        let attr_body = ci + 1;
+        let mut depth = 0usize;
+        while let Some(t) = at(ci) {
+            if t.kind == TokKind::Punct {
+                match t.text {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            ci += 1;
+        }
+        let end = ci + 1;
+        // `#[test]` exactly, or `#[cfg(test)]` exactly. `#[cfg(not(test))]`
+        // and feature gates are not test gates.
+        let gate = (is_ident(attr_body, "test") && is_punct(attr_body + 1, "]"))
+            || (is_ident(attr_body, "cfg")
+                && is_punct(attr_body + 1, "(")
+                && is_ident(attr_body + 2, "test")
+                && is_punct(attr_body + 3, ")"));
+        let _ = start;
+        (end, gate)
+    };
+
+    let mut ci = 0usize;
+    while ci < code.len() {
+        if !is_punct(ci, "#") {
+            ci += 1;
+            continue;
+        }
+        // Scan the full run of attributes on this item.
+        let attr_start = ci;
+        let mut gated = false;
+        while is_punct(ci, "#") {
+            let (end, gate) = scan_attr(ci);
+            gated |= gate;
+            ci = end;
+        }
+        if !gated {
+            continue;
+        }
+        // Cover the item: to the matching `}` of its first brace block, or
+        // to a `;` seen before any `{` (e.g. a gated `use` or `mod foo;`).
+        let item_start = ci;
+        let mut depth = 0usize;
+        let mut item_end = code.len();
+        let mut saw_brace = false;
+        let mut cj = item_start;
+        while cj < code.len() {
+            if let Some(t) = at(cj) {
+                if t.kind == TokKind::Punct {
+                    match t.text {
+                        "{" => {
+                            depth += 1;
+                            saw_brace = true;
+                        }
+                        "}" => {
+                            depth = depth.saturating_sub(1);
+                            if saw_brace && depth == 0 {
+                                item_end = cj + 1;
+                                break;
+                            }
+                        }
+                        ";" if !saw_brace => {
+                            item_end = cj + 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            cj += 1;
+        }
+        for &ti in &code[attr_start..item_end.min(code.len())] {
+            mask[ti] = true;
+        }
+        ci = item_end;
+    }
+    mask
+}
+
+/// Scans one source file under every source-level rule.
+///
+/// `crate_name` is the directory name under `crates/` (e.g. `core`);
+/// `file` is the workspace-relative path used in diagnostics and for the
+/// D3 allow-list; `count_panics` disables P1 counting (used for binary
+/// targets, which are allowed to unwrap at the top level).
+#[must_use]
+pub fn scan_source(crate_name: &str, file: &str, src: &str, count_panics: bool) -> SourceReport {
+    let toks = lex(src);
+    let mut report = SourceReport::default();
+    let sups = collect_suppressions(file, &toks, &mut report.diags);
+    let mask = test_mask(&toks);
+
+    let sim = SIM_CRATES.contains(&crate_name);
+    let time_allowed = TIME_ALLOWED_CRATES.contains(&crate_name);
+    let env_allowed = file == ENV_ALLOWED_FILE;
+
+    // Code tokens only (comments out), with their original indices masked.
+    let code: Vec<&Token<'_>> = toks
+        .iter()
+        .zip(&mask)
+        .filter(|(t, &m)| !m && !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .map(|(t, _)| t)
+        .collect();
+
+    let ident =
+        |i: usize, s: &str| code.get(i).is_some_and(|t| t.kind == TokKind::Ident && t.text == s);
+    let punct =
+        |i: usize, p: &str| code.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == p);
+
+    let push = |report: &mut SourceReport, rule: RuleId, line: u32, message: String| {
+        if !is_suppressed(&sups, rule, line) {
+            report.diags.push(Diagnostic { file: file.to_string(), line, rule, message });
+        }
+    };
+
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text {
+            "HashMap" | "HashSet" if sim => push(
+                &mut report,
+                RuleId::D1,
+                t.line,
+                format!(
+                    "{} in simulation crate `{crate_name}`: hash iteration order is \
+                     nondeterministic; use BTreeMap/BTreeSet or an explicitly sorted collect",
+                    t.text
+                ),
+            ),
+            "Instant" | "SystemTime" if !time_allowed => push(
+                &mut report,
+                RuleId::D2,
+                t.line,
+                format!(
+                    "{} in crate `{crate_name}`: wall-clock reads are hidden inputs; \
+                     only crates/bench and crates/devtest may time things",
+                    t.text
+                ),
+            ),
+            "std"
+                if !time_allowed
+                    && punct(i + 1, ":")
+                    && punct(i + 2, ":")
+                    && ident(i + 3, "time") =>
+            {
+                push(
+                    &mut report,
+                    RuleId::D2,
+                    t.line,
+                    format!(
+                        "std::time in crate `{crate_name}`: wall-clock reads are hidden inputs; \
+                         only crates/bench and crates/devtest may time things"
+                    ),
+                );
+            }
+            "env"
+                if !env_allowed
+                    && punct(i + 1, ":")
+                    && punct(i + 2, ":")
+                    && code
+                        .get(i + 3)
+                        .is_some_and(|t| t.kind == TokKind::Ident && t.text.starts_with("var")) =>
+            {
+                push(
+                    &mut report,
+                    RuleId::D3,
+                    t.line,
+                    format!(
+                        "env::{} outside {ENV_ALLOWED_FILE}: every CHAINIQ_* knob must go \
+                         through the central knob module so typos warn instead of silently \
+                         changing the experiment",
+                        code[i + 3].text
+                    ),
+                );
+            }
+            "unwrap" | "expect"
+                if count_panics
+                    && i > 0
+                    && punct(i - 1, ".")
+                    && punct(i + 1, "(")
+                    && !is_suppressed(&sups, RuleId::P1, t.line) =>
+            {
+                report.panic_sites += 1;
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if count_panics
+                    && punct(i + 1, "!")
+                    && !punct_before_is_dot(&code, i)
+                    && !is_suppressed(&sups, RuleId::P1, t.line) =>
+            {
+                report.panic_sites += 1;
+            }
+            _ => {}
+        }
+    }
+
+    // U1: crate roots must forbid unsafe code.
+    if file.ends_with("src/lib.rs") && !has_forbid_unsafe(&toks) {
+        push(
+            &mut report,
+            RuleId::U1,
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+
+    report
+}
+
+/// `foo.panic!` cannot occur in Rust, but be conservative about strange
+/// token runs: only count a bang-macro when it is not preceded by `.`.
+fn punct_before_is_dot(code: &[&Token<'_>], i: usize) -> bool {
+    i > 0 && code[i - 1].kind == TokKind::Punct && code[i - 1].text == "."
+}
+
+/// Whether the token stream contains `#![forbid(unsafe_code)]` (spacing
+/// and attribute position independent).
+fn has_forbid_unsafe(toks: &[Token<'_>]) -> bool {
+    let code: Vec<&Token<'_>> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    code.windows(7).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == "forbid"
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+    })
+}
+
+/// Per-file panic-site counts, keyed by workspace-relative path — the
+/// currency of the P1 ratchet.
+pub type PanicCounts = BTreeMap<String, u32>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags_of(crate_name: &str, file: &str, src: &str) -> Vec<Diagnostic> {
+        scan_source(crate_name, file, src, true).diags
+    }
+
+    // ---- D1 ----
+
+    #[test]
+    fn d1_flags_hashmap_in_sim_crate() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }",
+        );
+        assert!(d.iter().all(|d| d.rule == RuleId::D1));
+        assert_eq!(d.len(), 3, "import + type + constructor: {d:?}");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn d1_flags_hashset_iteration_site() {
+        let d = diags_of(
+            "mem",
+            "crates/mem/src/x.rs",
+            "fn f(s: &std::collections::HashSet<u64>) { for x in s.iter() { drop(x); } }",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::D1);
+    }
+
+    #[test]
+    fn d1_suppressed_with_reason_passes() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "// chainiq-analyze: allow(D1, lookup-only map, never iterated)\n\
+             use std::collections::HashMap;",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn d1_trailing_same_line_suppression_passes() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap; // chainiq-analyze: allow(D1, lookup-only)",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn d1_clean_btreemap_passes() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn d1_ignores_non_sim_crates_and_strings_and_comments() {
+        assert!(
+            diags_of("bench", "crates/bench/src/x.rs", "use std::collections::HashMap;").is_empty()
+        );
+        assert!(diags_of("core", "crates/core/src/x.rs", "// HashMap in a comment\nfn f() {}")
+            .is_empty());
+        assert!(diags_of("core", "crates/core/src/x.rs", "const S: &str = \"HashMap\";").is_empty());
+    }
+
+    #[test]
+    fn d1_ignores_test_code() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() { let _m: HashMap<u8, u8> = HashMap::new(); }\n}";
+        assert!(diags_of("core", "crates/core/src/x.rs", src).is_empty());
+    }
+
+    // ---- D2 ----
+
+    #[test]
+    fn d2_flags_instant_outside_bench() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "use std::time::Instant;\nfn f() { let _t = Instant::now(); }",
+        );
+        assert!(!d.is_empty());
+        assert!(d.iter().all(|d| d.rule == RuleId::D2));
+    }
+
+    #[test]
+    fn d2_flags_systemtime_and_std_time_path() {
+        let d = diags_of("cpu", "crates/cpu/src/x.rs", "fn f() -> std::time::Duration { todo!() }");
+        assert!(d.iter().any(|d| d.rule == RuleId::D2), "{d:?}");
+        let d2 = diags_of("cpu", "crates/cpu/src/x.rs", "fn f() { let _ = SystemTime::now(); }");
+        assert_eq!(d2.len(), 1);
+    }
+
+    #[test]
+    fn d2_allows_bench_and_devtest() {
+        assert!(diags_of("bench", "crates/bench/src/x.rs", "use std::time::Instant;").is_empty());
+        assert!(
+            diags_of("devtest", "crates/devtest/src/x.rs", "use std::time::Instant;").is_empty()
+        );
+    }
+
+    #[test]
+    fn d2_suppressed_with_reason_passes() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "// chainiq-analyze: allow(D2, timing diagnostic never feeds stats)\n\
+             use std::time::Instant;",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    // ---- D3 ----
+
+    #[test]
+    fn d3_flags_env_var_everywhere_but_knob() {
+        let d = diags_of("core", "crates/core/src/x.rs", "fn f() { std::env::var(\"X\").ok(); }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::D3);
+        let d2 =
+            diags_of("bench", "crates/bench/src/sweep.rs", "fn f() { std::env::var_os(\"X\"); }");
+        assert_eq!(d2.len(), 1, "var_os is also an env read");
+    }
+
+    #[test]
+    fn d3_allows_knob_rs() {
+        let d = diags_of("bench", ENV_ALLOWED_FILE, "fn f() { std::env::var(\"X\").ok(); }");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn d3_suppressed_with_reason_passes() {
+        let d = diags_of(
+            "devtest",
+            "crates/devtest/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             // chainiq-analyze: allow(D3, replay knobs are devtest's own interface)\n\
+             fn f() { std::env::var(\"CHAINIQ_PROP_SEED\").ok(); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn d3_does_not_flag_env_macro() {
+        let d =
+            diags_of("core", "crates/core/src/x.rs", "const D: &str = env!(\"CARGO_PKG_NAME\");");
+        assert!(d.is_empty(), "env!() is compile-time, not a hidden runtime input");
+    }
+
+    // ---- P1 ----
+
+    #[test]
+    fn p1_counts_unwrap_expect_and_bang_macros() {
+        let r = scan_source(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f(o: Option<u8>) -> u8 {\n\
+             let a = o.unwrap();\n\
+             let b = o.expect(\"msg\");\n\
+             if a > b { panic!(\"no\"); }\n\
+             match a { 0 => unreachable!(), _ => a }\n\
+             }",
+            true,
+        );
+        assert_eq!(r.panic_sites, 4);
+    }
+
+    #[test]
+    fn p1_ignores_unwrap_or_variants_and_comments() {
+        let r = scan_source(
+            "core",
+            "crates/core/src/x.rs",
+            "/// call .unwrap() responsibly\nfn f(o: Option<u8>) -> u8 { o.unwrap_or(0).max(o.unwrap_or_else(|| 1)) }",
+            true,
+        );
+        assert_eq!(r.panic_sites, 0);
+    }
+
+    #[test]
+    fn p1_ignores_test_code_and_respects_suppression() {
+        let r = scan_source(
+            "core",
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests { fn t() { None::<u8>.unwrap(); } }\n\
+             fn f(o: Option<u8>) -> u8 {\n\
+             // chainiq-analyze: allow(P1, slot was bounds-checked two lines up)\n\
+             o.unwrap()\n}",
+            true,
+        );
+        assert_eq!(r.panic_sites, 0);
+    }
+
+    #[test]
+    fn p1_not_counted_in_binaries() {
+        let r = scan_source(
+            "bench",
+            "crates/bench/src/bin/x.rs",
+            "fn main() { foo().unwrap(); }\nfn foo() -> Option<()> { None }",
+            false,
+        );
+        assert_eq!(r.panic_sites, 0);
+    }
+
+    // ---- U1 ----
+
+    #[test]
+    fn u1_requires_forbid_unsafe_in_lib_root() {
+        let d = diags_of("core", "crates/core/src/lib.rs", "//! docs\npub fn f() {}");
+        assert!(d.iter().any(|d| d.rule == RuleId::U1));
+        let ok = diags_of(
+            "core",
+            "crates/core/src/lib.rs",
+            "//! docs\n#![forbid(unsafe_code)]\npub fn f() {}",
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn u1_not_required_outside_lib_root() {
+        assert!(diags_of("core", "crates/core/src/queue.rs", "pub fn f() {}").is_empty());
+    }
+
+    // ---- A0 / suppression hygiene ----
+
+    #[test]
+    fn a0_suppression_without_reason_fails() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "// chainiq-analyze: allow(D1)\nuse std::collections::HashMap;",
+        );
+        assert!(d.iter().any(|d| d.rule == RuleId::A0), "{d:?}");
+        assert!(d.iter().any(|d| d.rule == RuleId::D1), "reasonless allow must not suppress");
+    }
+
+    #[test]
+    fn a0_unknown_rule_fails() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "// chainiq-analyze: allow(D9, whatever)\nfn f() {}",
+        );
+        assert!(d.iter().any(|d| d.rule == RuleId::A0));
+    }
+
+    #[test]
+    fn a0_malformed_marker_fails() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "// chainiq-analyze: please ignore\nfn f() {}",
+        );
+        assert!(d.iter().any(|d| d.rule == RuleId::A0));
+    }
+
+    // ---- cfg(test) mask edge cases ----
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_gate() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "#[cfg(not(test))]\nfn f() { let _m = std::collections::HashMap::<u8, u8>::new(); }",
+        );
+        assert_eq!(d.len(), 1, "cfg(not(test)) code is live code: {d:?}");
+    }
+
+    #[test]
+    fn gated_semicolon_item_is_skipped() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nuse std::collections::HashMap;\nfn f() {}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn code_after_test_module_is_still_scanned() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests { fn t() {} }\nuse std::collections::HashMap;",
+        );
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -15,7 +15,7 @@
 //! exists so that claim can be tested — see
 //! `cargo run -p chainiq-bench --bin rivals`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use chainiq_core::{DispatchInfo, DispatchStall, FuPool, InstTag, IqStats, IssueQueue, IssuedInst};
 use chainiq_isa::{ArchReg, Cycle, OpClass, NUM_ARCH_REGS};
@@ -90,7 +90,7 @@ impl Entry {
 pub struct DistanceIq {
     config: DistanceConfig,
     entries: Vec<Entry>,
-    row_counts: HashMap<Cycle, u32>,
+    row_counts: BTreeMap<Cycle, u32>,
     /// Predicted absolute ready cycle per architectural register, when
     /// known (`None` = produced by a not-yet-resolved instruction).
     reg_ready: Vec<Option<Cycle>>,
@@ -106,7 +106,7 @@ impl DistanceIq {
         DistanceIq {
             config,
             entries: Vec::with_capacity(config.capacity()),
-            row_counts: HashMap::new(),
+            row_counts: BTreeMap::new(),
             reg_ready: vec![Some(0); NUM_ARCH_REGS],
             stats: IqStats::default(),
             wait_buffer_stalls: 0,

@@ -34,6 +34,7 @@
 //! assert_eq!(iq.select_issue(1, &mut fus).len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod distance;

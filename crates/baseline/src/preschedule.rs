@@ -1,6 +1,6 @@
 //! Michaud & Seznec's prescheduling instruction queue (§2, §6.3).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use chainiq_core::{DispatchInfo, DispatchStall, FuPool, InstTag, IqStats, IssueQueue, IssuedInst};
 use chainiq_isa::{ArchReg, Cycle, OpClass, NUM_ARCH_REGS};
@@ -97,7 +97,7 @@ pub struct PrescheduledIq {
     config: PrescheduleConfig,
     entries: Vec<Entry>,
     /// Occupancy of each future row (`scheduled_at` -> entries).
-    row_counts: HashMap<Cycle, u32>,
+    row_counts: BTreeMap<Cycle, u32>,
     /// Predicted absolute cycle each architectural register's value is
     /// ready.
     reg_ready: Vec<Cycle>,
@@ -115,7 +115,7 @@ impl PrescheduledIq {
         PrescheduledIq {
             config,
             entries: Vec::with_capacity(config.capacity()),
-            row_counts: HashMap::new(),
+            row_counts: BTreeMap::new(),
             reg_ready: vec![0; NUM_ARCH_REGS],
             stats: IqStats::default(),
             shift_stalls: 0,

@@ -33,6 +33,14 @@ pub fn knob<T: FromStr + Display>(name: &str, default: T) -> T {
     }
 }
 
+/// Results directory override: `CHAINIQ_BENCH_DIR`, or `None` when unset
+/// (callers fall back to the runtime-discovered `results/` dir). Taken
+/// as-is — any non-empty path is valid, so there is nothing to warn on.
+#[must_use]
+pub fn bench_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os("CHAINIQ_BENCH_DIR").map(std::path::PathBuf::from)
+}
+
 /// Worker-thread count for the sweep executor: `CHAINIQ_JOBS`, defaulting
 /// to [`std::thread::available_parallelism`]. `CHAINIQ_JOBS=0` is
 /// rejected (with a warning) the same way a non-numeric value is.

@@ -223,8 +223,7 @@ impl BenchRunner {
     pub fn finish(self) -> Option<std::path::PathBuf> {
         println!("\n{} ({} samples, warmup {}):", self.suite, self.samples, self.warmup);
         println!("{}", self.render());
-        let dir = std::env::var("CHAINIQ_BENCH_DIR")
-            .map_or_else(|_| default_results_dir(), PathBuf::from);
+        let dir = crate::knob::bench_dir().unwrap_or_else(default_results_dir);
         let path = dir.join(format!("{}.json", self.suite));
         match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, self.to_json())) {
             Ok(()) => {

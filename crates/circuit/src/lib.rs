@@ -45,6 +45,7 @@
 //! assert!(segmented < 1.2 * small, "segments clock like small queues");
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 /// Geometry of the scheduling structure whose critical path is modelled.

@@ -1,7 +1,7 @@
 //! Chain identifiers, the chain-wire allocator, and in-flight wire
 //! signals.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use chainiq_isa::Cycle;
 
@@ -103,7 +103,7 @@ pub(crate) struct ChainTable {
     slots: Vec<ChainSlot>,
     free: Vec<u32>,
     /// Live chains by head tag (a head owns at most one chain).
-    by_head: HashMap<InstTag, u32>,
+    by_head: BTreeMap<InstTag, u32>,
     limit: Option<usize>,
     live: usize,
     stats: ChainStats,
@@ -114,7 +114,7 @@ impl ChainTable {
         ChainTable {
             slots: Vec::new(),
             free: Vec::new(),
-            by_head: HashMap::new(),
+            by_head: BTreeMap::new(),
             limit,
             live: 0,
             stats: ChainStats::default(),

@@ -33,6 +33,7 @@
 //! assert!(result.ipc() > 0.1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod config;

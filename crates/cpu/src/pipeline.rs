@@ -1,7 +1,7 @@
 //! The cycle loop tying front end, queue, LSQ, memory and commit
 //! together.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use chainiq_core::{DispatchInfo, FuPool, InstTag, IssueQueue, OperandPick, SrcOperand};
 use chainiq_isa::{Cycle, Inst, OpClass};
@@ -47,7 +47,7 @@ pub struct Pipeline<Q, W> {
     lrp: LeftRightPredictor,
     rename: RenameState,
     events: BTreeMap<Cycle, Vec<Event>>,
-    completion_time: HashMap<InstTag, Cycle>,
+    completion_time: BTreeMap<InstTag, Cycle>,
     next_tag: u64,
     in_flight: usize,
     /// Branch the front end is stalled behind, once dispatched.
@@ -55,10 +55,10 @@ pub struct Pipeline<Q, W> {
     /// Store-data dependences: the IQ schedules only a store's
     /// address-generation (sim-outorder style), so the data operand is
     /// tracked here and gates the store's completion.
-    store_value: HashMap<InstTag, SrcOperand>,
+    store_value: BTreeMap<InstTag, SrcOperand>,
     /// Stores whose data producer has not yet announced, keyed by
     /// producer.
-    waiting_stores: HashMap<InstTag, Vec<InstTag>>,
+    waiting_stores: BTreeMap<InstTag, Vec<InstTag>>,
     stats: SimStats,
 }
 
@@ -80,12 +80,12 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
             lrp: LeftRightPredictor::default(),
             rename: RenameState::new(),
             events: BTreeMap::new(),
-            completion_time: HashMap::new(),
+            completion_time: BTreeMap::new(),
             next_tag: 0,
             in_flight: 0,
             redirect_waiting: None,
-            store_value: HashMap::new(),
-            waiting_stores: HashMap::new(),
+            store_value: BTreeMap::new(),
+            waiting_stores: BTreeMap::new(),
             stats: SimStats::default(),
             config,
         }
@@ -251,11 +251,8 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
                     self.lsq.ea_computed(sel.tag, now + 1);
                     if sel.op == OpClass::Store {
                         match self.store_value_ready_at(sel.tag) {
-                            Some(at) => self.schedule(at.max(now + 1), Event::Complete(sel.tag)),
-                            None => {
-                                let producer = self.store_value[&sel.tag]
-                                    .producer
-                                    .expect("unready store value has a producer");
+                            Ok(at) => self.schedule(at.max(now + 1), Event::Complete(sel.tag)),
+                            Err(producer) => {
                                 self.waiting_stores.entry(producer).or_default().push(sel.tag);
                             }
                         }
@@ -357,26 +354,28 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
         self.frontend.fetch(now, &self.config, &mut self.workload, &mut self.bp, &mut self.mem);
     }
 
-    /// When the data value of store `tag` is (or will be) available, if
-    /// known; `None` when the producer has not announced yet.
-    fn store_value_ready_at(&self, tag: InstTag) -> Option<Cycle> {
+    /// When the data value of store `tag` is (or will be) available:
+    /// `Ok(cycle)` when known, `Err(producer)` when the producing
+    /// instruction has not announced its result yet (the store must park
+    /// in `waiting_stores` keyed by that producer).
+    fn store_value_ready_at(&self, tag: InstTag) -> Result<Cycle, InstTag> {
         let Some(data) = self.store_value.get(&tag) else {
-            return Some(self.now + 1); // no data dependence recorded
+            return Ok(self.now + 1); // no data dependence recorded
         };
         let Some(producer) = data.producer else {
-            return Some(self.now + 1);
+            return Ok(self.now + 1);
         };
         if let Some(t) = self.completion_time.get(&producer) {
-            return Some(*t);
+            return Ok(*t);
         }
         if let Some(t) = data.known_ready_at {
-            return Some(t);
+            return Ok(t);
         }
         // Producer already committed (and pruned) => the value exists.
         match self.rob.get(producer) {
-            None => Some(self.now + 1),
-            Some(e) if e.state == RobState::Completed => Some(self.now + 1),
-            _ => None,
+            None => Ok(self.now + 1),
+            Some(e) if e.state == RobState::Completed => Ok(self.now + 1),
+            _ => Err(producer),
         }
     }
 

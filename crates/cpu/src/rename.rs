@@ -1,6 +1,6 @@
 //! Register renaming: architectural register → in-flight producer.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use chainiq_core::{InstTag, SrcOperand};
 use chainiq_isa::{ArchReg, Cycle, NUM_ARCH_REGS};
@@ -15,12 +15,12 @@ use chainiq_isa::{ArchReg, Cycle, NUM_ARCH_REGS};
 #[derive(Debug, Clone)]
 pub(crate) struct RenameState {
     map: [Option<InstTag>; NUM_ARCH_REGS],
-    ready_time: HashMap<InstTag, Cycle>,
+    ready_time: BTreeMap<InstTag, Cycle>,
 }
 
 impl RenameState {
     pub(crate) fn new() -> Self {
-        RenameState { map: [None; NUM_ARCH_REGS], ready_time: HashMap::new() }
+        RenameState { map: [None; NUM_ARCH_REGS], ready_time: BTreeMap::new() }
     }
 
     /// Renames one source register.

@@ -18,7 +18,7 @@
 //! freely, which is exactly the §7 hypothesis under test in
 //! `cargo run -p chainiq-bench --bin smt`.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use chainiq_core::{DispatchInfo, FuPool, InstTag, IssueQueue, OperandPick, SrcOperand};
 use chainiq_isa::{Cycle, Inst, OpClass};
@@ -66,10 +66,10 @@ pub struct SmtPipeline<Q, W> {
     hmp: HitMissPredictor,
     lrp: LeftRightPredictor,
     events: BTreeMap<Cycle, Vec<Event>>,
-    completion_time: HashMap<InstTag, Cycle>,
-    thread_of: HashMap<InstTag, u8>,
-    store_value: HashMap<InstTag, SrcOperand>,
-    waiting_stores: HashMap<InstTag, Vec<InstTag>>,
+    completion_time: BTreeMap<InstTag, Cycle>,
+    thread_of: BTreeMap<InstTag, u8>,
+    store_value: BTreeMap<InstTag, SrcOperand>,
+    waiting_stores: BTreeMap<InstTag, Vec<InstTag>>,
     next_tag: u64,
     fetch_rr: usize,
     dispatch_rr: usize,
@@ -110,10 +110,10 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> SmtPipeline<Q, W> {
             hmp: HitMissPredictor::default(),
             lrp: LeftRightPredictor::default(),
             events: BTreeMap::new(),
-            completion_time: HashMap::new(),
-            thread_of: HashMap::new(),
-            store_value: HashMap::new(),
-            waiting_stores: HashMap::new(),
+            completion_time: BTreeMap::new(),
+            thread_of: BTreeMap::new(),
+            store_value: BTreeMap::new(),
+            waiting_stores: BTreeMap::new(),
             next_tag: 0,
             fetch_rr: 0,
             dispatch_rr: 0,
@@ -204,24 +204,28 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> SmtPipeline<Q, W> {
         }
     }
 
-    fn store_value_ready_at(&self, tag: InstTag) -> Option<Cycle> {
+    /// When the data value of store `tag` is (or will be) available:
+    /// `Ok(cycle)` when known, `Err(producer)` when the producing
+    /// instruction has not announced its result yet (the store must park
+    /// in `waiting_stores` keyed by that producer).
+    fn store_value_ready_at(&self, tag: InstTag) -> Result<Cycle, InstTag> {
         let Some(data) = self.store_value.get(&tag) else {
-            return Some(self.now + 1);
+            return Ok(self.now + 1);
         };
         let Some(producer) = data.producer else {
-            return Some(self.now + 1);
+            return Ok(self.now + 1);
         };
         if let Some(t) = self.completion_time.get(&producer) {
-            return Some(*t);
+            return Ok(*t);
         }
         if let Some(t) = data.known_ready_at {
-            return Some(t);
+            return Ok(t);
         }
         let thread = self.thread_of.get(&producer).copied().unwrap_or(0) as usize;
         match self.threads[thread].rob.get(producer) {
-            None => Some(self.now + 1),
-            Some(e) if e.state == RobState::Completed => Some(self.now + 1),
-            _ => None,
+            None => Ok(self.now + 1),
+            Some(e) if e.state == RobState::Completed => Ok(self.now + 1),
+            _ => Err(producer),
         }
     }
 
@@ -302,11 +306,8 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> SmtPipeline<Q, W> {
                     self.threads[thread].lsq.ea_computed(sel.tag, now + 1);
                     if sel.op == OpClass::Store {
                         match self.store_value_ready_at(sel.tag) {
-                            Some(at) => self.schedule(at.max(now + 1), Event::Complete(sel.tag)),
-                            None => {
-                                let producer = self.store_value[&sel.tag]
-                                    .producer
-                                    .expect("unready store value has a producer");
+                            Ok(at) => self.schedule(at.max(now + 1), Event::Complete(sel.tag)),
+                            Err(producer) => {
                                 self.waiting_stores.entry(producer).or_default().push(sel.tag);
                             }
                         }

@@ -34,6 +34,7 @@
 //! });
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::fmt::Write as _;
@@ -167,6 +168,7 @@ impl Gen {
 pub type CaseResult = Result<(), String>;
 
 fn env_u64(name: &str) -> Option<u64> {
+    // chainiq-analyze: allow(D3, CHAINIQ_PROP_* replay knobs are devtest's own debugging interface, not experiment inputs)
     let v = std::env::var(name).ok()?;
     let v = v.trim();
     let parsed = if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {

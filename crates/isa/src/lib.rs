@@ -21,6 +21,7 @@
 //! assert_eq!(add.exec_latency(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod inst;

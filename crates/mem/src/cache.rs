@@ -158,7 +158,11 @@ impl CacheArray {
         // Prefer an invalid way; otherwise evict the LRU way.
         let victim_idx =
             set.iter().enumerate().find(|(_, w)| !w.valid).map(|(i, _)| i).unwrap_or_else(|| {
-                set.iter().enumerate().min_by_key(|(_, w)| w.last_use).map(|(i, _)| i).unwrap()
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.last_use)
+                    .map(|(i, _)| i)
+                    .expect("cache geometry guarantees at least one way per set")
             });
         let victim = &mut set[victim_idx];
         let writeback = if victim.valid && victim.dirty {

@@ -37,6 +37,7 @@
 //! assert_eq!(again.serviced_by, ServicedBy::L1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod bus;

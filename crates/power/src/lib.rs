@@ -39,6 +39,7 @@
 //! assert!(mono.total_pj() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use chainiq_core::{IqStats, SegmentedStats};

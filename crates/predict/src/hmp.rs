@@ -63,7 +63,7 @@ pub struct HitMissPredictor {
     threshold: u8,
     mask: usize,
     stats: HmpStats,
-    wrong_by_pc: std::collections::HashMap<u64, u64>,
+    wrong_by_pc: std::collections::BTreeMap<u64, u64>,
 }
 
 impl Default for HitMissPredictor {
@@ -89,7 +89,7 @@ impl HitMissPredictor {
             threshold,
             mask: entries - 1,
             stats: HmpStats::default(),
-            wrong_by_pc: std::collections::HashMap::new(),
+            wrong_by_pc: std::collections::BTreeMap::new(),
         }
     }
 

@@ -29,6 +29,7 @@
 //! assert!(!hmp.predict_hit(0x40));
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod branch;

@@ -27,6 +27,7 @@
 //! let _coin: bool = a.gen_bool(0.5);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::ops::Range;

@@ -22,6 +22,23 @@ cargo run -p chainiq-analyze --release --offline
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== perf gate smoke: --bin perf at a tiny sample into a scratch dir"
+PERF_DIR="$(mktemp -d)"
+trap 'rm -rf "$PERF_DIR"' EXIT
+CHAINIQ_SAMPLE=1000 CHAINIQ_BENCH_DIR="$PERF_DIR" \
+    cargo run -p chainiq-bench --release --bin perf --offline >/dev/null
+PERF_JSON="$PERF_DIR/BENCH_perf.json"
+[ -s "$PERF_JSON" ] || { echo "ci.sh: BENCH_perf.json missing or empty" >&2; exit 1; }
+python3 - "$PERF_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+agg = doc["aggregate"]["sim_kcycles_per_sec"]
+assert doc["suite"] == "perf", doc["suite"]
+assert doc["points"], "no points"
+assert agg > 0, agg
+EOF
+
 echo "== sweep smoke: fig3 on 2 workers at a small sample"
 CHAINIQ_SAMPLE=2000 CHAINIQ_JOBS=2 \
     cargo run -p chainiq-bench --release --bin fig3 --offline >/dev/null

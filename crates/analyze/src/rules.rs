@@ -22,6 +22,11 @@
 //!   `unreachable!` / `todo!` / `unimplemented!` in non-test code. The
 //!   count per file is ratcheted against `analyze-baseline.toml`: the
 //!   existing debt does not fail CI, any *increase* does.
+//! * **P2** — no allocation in hot-marked kernel functions. A function
+//!   annotated with the `hot` marker comment (same line as `fn` or the
+//!   line directly above) is a per-cycle simulation path; `.clone()`,
+//!   `Vec::new` and `.collect()` inside its body are flagged — reuse a
+//!   scratch buffer or an index instead.
 //! * **U1** — every crate's `src/lib.rs` must carry
 //!   `#![forbid(unsafe_code)]`.
 //! * **A0** — a suppression comment without a reason is itself a
@@ -35,7 +40,8 @@
 //!
 //! `// chainiq-analyze: allow(D1, why this occurrence is sound)` on the
 //! same line or the line directly above an occurrence suppresses it. The
-//! reason is mandatory (**A0**).
+//! reason is mandatory (**A0**). The only other well-formed marker body
+//! is the bare word `hot`, which opts the following function into P2.
 
 use crate::lexer::{lex, TokKind, Token};
 use std::collections::BTreeMap;
@@ -67,6 +73,8 @@ pub enum RuleId {
     H1,
     /// Panic-site budget exceeded.
     P1,
+    /// Allocation in a hot-marked kernel function.
+    P2,
     /// Missing `#![forbid(unsafe_code)]` in a crate root.
     U1,
     /// Malformed suppression comment.
@@ -83,6 +91,7 @@ impl std::fmt::Display for RuleId {
             RuleId::D3 => "D3",
             RuleId::H1 => "H1",
             RuleId::P1 => "P1",
+            RuleId::P2 => "P2",
             RuleId::U1 => "U1",
             RuleId::A0 => "A0",
             RuleId::B1 => "B1",
@@ -98,6 +107,7 @@ impl RuleId {
             "D3" => Some(RuleId::D3),
             "H1" => Some(RuleId::H1),
             "P1" => Some(RuleId::P1),
+            "P2" => Some(RuleId::P2),
             "U1" => Some(RuleId::U1),
             "A0" => Some(RuleId::A0),
             "B1" => Some(RuleId::B1),
@@ -145,15 +155,17 @@ struct Suppression {
     lines: [u32; 2],
 }
 
-/// Parses suppression comments out of the token stream. Malformed ones
-/// (no `allow(...)`, unknown rule id, missing reason) produce A0
-/// diagnostics.
+/// Parses suppression and `hot` marker comments out of the token stream.
+/// Malformed ones (neither `hot` nor `allow(...)`, unknown rule id,
+/// missing reason) produce A0 diagnostics. Returns the suppressions and
+/// the lines carrying a `hot` marker (which gates P2; see [`hot_mask`]).
 fn collect_suppressions(
     file: &str,
     toks: &[Token<'_>],
     diags: &mut Vec<Diagnostic>,
-) -> Vec<Suppression> {
+) -> (Vec<Suppression>, Vec<u32>) {
     let mut out = Vec::new();
+    let mut hot_lines = Vec::new();
     for t in toks {
         if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
             continue;
@@ -162,13 +174,18 @@ fn collect_suppressions(
             continue;
         };
         let rest = t.text[pos + SUPPRESS_MARKER.len()..].trim_start();
+        if rest.trim_end() == "hot" {
+            hot_lines.push(t.line);
+            continue;
+        }
         let bad = |msg: &str, diags: &mut Vec<Diagnostic>| {
             diags.push(Diagnostic {
                 file: file.to_string(),
                 line: t.line,
                 rule: RuleId::A0,
                 message: format!(
-                    "{msg} — write `// chainiq-analyze: allow(RULE, reason)` with a non-empty reason"
+                    "{msg} — write `// chainiq-analyze: allow(RULE, reason)` with a non-empty \
+                     reason, or `// chainiq-analyze: hot` to mark a kernel function"
                 ),
             });
         };
@@ -191,7 +208,7 @@ fn collect_suppressions(
         }
         out.push(Suppression { rule, lines: [t.line, t.line + 1] });
     }
-    out
+    (out, hot_lines)
 }
 
 fn is_suppressed(sups: &[Suppression], rule: RuleId, line: u32) -> bool {
@@ -309,6 +326,65 @@ fn test_mask(toks: &[Token<'_>]) -> Vec<bool> {
     mask
 }
 
+/// Marks token ranges inside hot-marked kernel functions: a `fn` whose
+/// line carries (or directly follows) a `hot` marker comment is covered
+/// through the matching `}` of its body. Tokens inside are subject to
+/// P2.
+fn hot_mask(toks: &[Token<'_>], hot_lines: &[u32]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    if hot_lines.is_empty() {
+        return mask;
+    }
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let covered = |line: u32| hot_lines.iter().any(|&l| l == line || l + 1 == line);
+    let mut ci = 0usize;
+    while ci < code.len() {
+        let t = &toks[code[ci]];
+        if !(t.kind == TokKind::Ident && t.text == "fn" && covered(t.line)) {
+            ci += 1;
+            continue;
+        }
+        // Cover from `fn` to the matching `}` of its body (or a `;` for a
+        // bodiless signature, e.g. in a trait).
+        let start = ci;
+        let mut depth = 0usize;
+        let mut saw_brace = false;
+        let mut end = code.len();
+        let mut cj = ci;
+        while cj < code.len() {
+            let tj = &toks[code[cj]];
+            if tj.kind == TokKind::Punct {
+                match tj.text {
+                    "{" => {
+                        depth += 1;
+                        saw_brace = true;
+                    }
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if saw_brace && depth == 0 {
+                            end = cj + 1;
+                            break;
+                        }
+                    }
+                    ";" if !saw_brace => {
+                        end = cj + 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            cj += 1;
+        }
+        for &ti in &code[start..end.min(code.len())] {
+            mask[ti] = true;
+        }
+        ci = end;
+    }
+    mask
+}
+
 /// Scans one source file under every source-level rule.
 ///
 /// `crate_name` is the directory name under `crates/` (e.g. `core`);
@@ -319,20 +395,25 @@ fn test_mask(toks: &[Token<'_>]) -> Vec<bool> {
 pub fn scan_source(crate_name: &str, file: &str, src: &str, count_panics: bool) -> SourceReport {
     let toks = lex(src);
     let mut report = SourceReport::default();
-    let sups = collect_suppressions(file, &toks, &mut report.diags);
+    let (sups, hot_lines) = collect_suppressions(file, &toks, &mut report.diags);
     let mask = test_mask(&toks);
+    let hotm = hot_mask(&toks, &hot_lines);
 
     let sim = SIM_CRATES.contains(&crate_name);
     let time_allowed = TIME_ALLOWED_CRATES.contains(&crate_name);
     let env_allowed = file == ENV_ALLOWED_FILE;
 
-    // Code tokens only (comments out), with their original indices masked.
-    let code: Vec<&Token<'_>> = toks
-        .iter()
-        .zip(&mask)
-        .filter(|(t, &m)| !m && !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
-        .map(|(t, _)| t)
-        .collect();
+    // Code tokens only (comments out, test items out), with a parallel
+    // per-token hot flag for P2.
+    let mut code: Vec<&Token<'_>> = Vec::new();
+    let mut hot: Vec<bool> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        code.push(t);
+        hot.push(hotm[i]);
+    }
 
     let ident =
         |i: usize, s: &str| code.get(i).is_some_and(|t| t.kind == TokKind::Ident && t.text == s);
@@ -423,6 +504,28 @@ pub fn scan_source(crate_name: &str, file: &str, src: &str, count_panics: bool) 
                     && !is_suppressed(&sups, RuleId::P1, t.line) =>
             {
                 report.panic_sites += 1;
+            }
+            "clone" | "collect" if hot[i] && i > 0 && punct(i - 1, ".") && punct(i + 1, "(") => {
+                push(
+                    &mut report,
+                    RuleId::P2,
+                    t.line,
+                    format!(
+                        ".{}() in a hot-marked kernel function: per-cycle paths must not \
+                         allocate; reuse a scratch buffer or walk the index directly",
+                        t.text
+                    ),
+                );
+            }
+            "Vec" if hot[i] && punct(i + 1, ":") && punct(i + 2, ":") && ident(i + 3, "new") => {
+                push(
+                    &mut report,
+                    RuleId::P2,
+                    t.line,
+                    "Vec::new in a hot-marked kernel function: per-cycle paths must not \
+                     allocate; hoist the buffer into the struct and reuse it"
+                        .to_string(),
+                );
             }
             _ => {}
         }
@@ -678,6 +781,95 @@ mod tests {
             false,
         );
         assert_eq!(r.panic_sites, 0);
+    }
+
+    // ---- P2 ----
+
+    #[test]
+    fn p2_flags_allocation_in_hot_fn() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "// chainiq-analyze: hot\n\
+             fn tick(&mut self) {\n\
+             let v = self.items.clone();\n\
+             let w: Vec<u32> = Vec::new();\n\
+             let x: Vec<u32> = v.iter().copied().collect();\n\
+             drop((w, x));\n\
+             }",
+        );
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == RuleId::P2));
+        assert_eq!(d[0].line, 3);
+        assert_eq!(d[1].line, 4);
+        assert_eq!(d[2].line, 5);
+    }
+
+    #[test]
+    fn p2_marker_on_fn_line_also_covers() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "fn tick(&mut self) { // chainiq-analyze: hot\n let _v = self.items.clone();\n}",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RuleId::P2);
+    }
+
+    #[test]
+    fn p2_ignores_non_hot_functions() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "// chainiq-analyze: hot\n\
+             fn hot_one(&self) -> u32 { self.n }\n\
+             fn cold(&self) -> Vec<u32> { self.items.clone() }",
+        );
+        assert!(d.is_empty(), "allocation outside the hot fn is fine: {d:?}");
+    }
+
+    #[test]
+    fn p2_hot_marker_is_not_a0() {
+        let d = diags_of("core", "crates/core/src/x.rs", "// chainiq-analyze: hot\nfn f() {}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn p2_hot_marker_with_trailing_words_is_a0() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "// chainiq-analyze: hot path here\nfn f() {}",
+        );
+        assert!(d.iter().any(|d| d.rule == RuleId::A0), "{d:?}");
+    }
+
+    #[test]
+    fn p2_suppressed_with_reason_passes() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "// chainiq-analyze: hot\n\
+             fn tick(&mut self) {\n\
+             // chainiq-analyze: allow(P2, one-time growth amortized to zero)\n\
+             let _v = self.items.clone();\n\
+             }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn p2_ignores_clone_without_call_parens_and_with_capacity() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "// chainiq-analyze: hot\n\
+             fn tick(&mut self) {\n\
+             let _c = Clone::clone;\n\
+             let _v: Vec<u32> = Vec::with_capacity(4);\n\
+             }",
+        );
+        assert!(d.is_empty(), "{d:?}");
     }
 
     // ---- U1 ----

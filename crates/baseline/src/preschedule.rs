@@ -1,6 +1,6 @@
 //! Michaud & Seznec's prescheduling instruction queue (§2, §6.3).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use chainiq_core::{DispatchInfo, DispatchStall, FuPool, InstTag, IqStats, IssueQueue, IssuedInst};
 use chainiq_isa::{ArchReg, Cycle, OpClass, NUM_ARCH_REGS};
@@ -53,7 +53,6 @@ struct DataOperand {
 
 #[derive(Debug, Clone)]
 struct Entry {
-    tag: InstTag,
     op: OpClass,
     ops: [Option<DataOperand>; 2],
     /// Predicted issue cycle: the row of the scheduling array this entry
@@ -65,10 +64,6 @@ struct Entry {
 }
 
 impl Entry {
-    fn in_buffer(&self) -> bool {
-        self.entered_buffer_at != Cycle::MAX
-    }
-
     fn ready(&self, now: Cycle) -> bool {
         self.ops.iter().flatten().all(|o| o.ready_at.map(|r| r <= now).unwrap_or(false))
     }
@@ -95,7 +90,16 @@ impl Entry {
 #[derive(Debug, Clone)]
 pub struct PrescheduledIq {
     config: PrescheduleConfig,
-    entries: Vec<Entry>,
+    entries: BTreeMap<InstTag, Entry>,
+    /// Array-resident entries ordered `(scheduled_at, tag)` — the
+    /// per-cycle due-scan reads a prefix range instead of rescanning the
+    /// window (same indexed-wakeup treatment as the segmented kernel).
+    array: BTreeSet<(Cycle, InstTag)>,
+    /// Issue-buffer residents, in age (tag) order.
+    buffer: BTreeSet<InstTag>,
+    /// `(producer, consumer)` subscriptions: a completion announce is
+    /// delivered only to the consumers waiting on that producer.
+    waiters: BTreeSet<(InstTag, InstTag)>,
     /// Occupancy of each future row (`scheduled_at` -> entries).
     row_counts: BTreeMap<Cycle, u32>,
     /// Predicted absolute cycle each architectural register's value is
@@ -106,6 +110,9 @@ pub struct PrescheduledIq {
     shift_stalls: u64,
     /// Buffer entries sent back to the array by the recirculation rule.
     recirculations: u64,
+    /// Scratch buffers so the hot paths never allocate.
+    scratch: Vec<(Cycle, InstTag)>,
+    scratch_tags: Vec<InstTag>,
 }
 
 impl PrescheduledIq {
@@ -114,12 +121,17 @@ impl PrescheduledIq {
     pub fn new(config: PrescheduleConfig) -> Self {
         PrescheduledIq {
             config,
-            entries: Vec::with_capacity(config.capacity()),
+            entries: BTreeMap::new(),
+            array: BTreeSet::new(),
+            buffer: BTreeSet::new(),
+            waiters: BTreeSet::new(),
             row_counts: BTreeMap::new(),
             reg_ready: vec![0; NUM_ARCH_REGS],
             stats: IqStats::default(),
             shift_stalls: 0,
             recirculations: 0,
+            scratch: Vec::new(),
+            scratch_tags: Vec::new(),
         }
     }
 
@@ -144,7 +156,32 @@ impl PrescheduledIq {
     /// Instructions currently waiting in the issue buffer.
     #[must_use]
     pub fn buffer_len(&self) -> usize {
-        self.entries.iter().filter(|e| e.in_buffer()).count()
+        self.buffer.len()
+    }
+
+    /// Moves an array entry into the issue buffer.
+    // chainiq-analyze: hot
+    fn admit(&mut self, now: Cycle, sched: Cycle, tag: InstTag) {
+        self.array.remove(&(sched, tag));
+        self.buffer.insert(tag);
+        if let Some(e) = self.entries.get_mut(&tag) {
+            e.entered_buffer_at = now;
+        }
+        let count = self.row_counts.entry(sched).or_default();
+        debug_assert!(*count > 0, "row count must track its entries");
+        *count = count.saturating_sub(1);
+    }
+
+    /// Removes an issued (or squashed) entry from every index.
+    // chainiq-analyze: hot
+    fn remove_entry(&mut self, tag: InstTag) {
+        if let Some(e) = self.entries.remove(&tag) {
+            self.buffer.remove(&tag);
+            self.array.remove(&(e.scheduled_at, tag));
+            for o in e.ops.iter().flatten() {
+                self.waiters.remove(&(o.producer, tag));
+            }
+        }
     }
 
     fn predicted_ready(&self, now: Cycle, info: &DispatchInfo) -> Cycle {
@@ -177,31 +214,27 @@ impl IssueQueue for PrescheduledIq {
         self.entries.len()
     }
 
+    // chainiq-analyze: hot
     fn tick(&mut self, now: Cycle, _execution_idle: bool) {
         self.stats.cycles += 1;
         self.stats.occupancy_accum += self.entries.len() as u64;
 
         // Move due array entries (oldest schedule first, then oldest age)
-        // into the issue buffer while it has space.
-        let mut space = self.config.issue_buffer_size - self.buffer_len();
-        let mut due: Vec<(Cycle, InstTag, usize)> = self
-            .entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !e.in_buffer() && e.scheduled_at <= now)
-            .map(|(i, e)| (e.scheduled_at, e.tag, i))
-            .collect();
-        due.sort_unstable();
+        // into the issue buffer while it has space. The array index is
+        // ordered `(scheduled_at, tag)`, so the due set is a prefix range.
+        let mut space = self.config.issue_buffer_size - self.buffer.len();
+        let mut due = std::mem::take(&mut self.scratch);
+        due.clear();
+        due.extend(self.array.range(..=(now, InstTag(u64::MAX))).copied());
+        let mut admitted = 0;
         let mut blocked = false;
-        for (sched, _, idx) in &due {
+        for &(sched, tag) in &due {
             if space == 0 {
                 blocked = true;
                 break;
             }
-            self.entries[*idx].entered_buffer_at = now;
-            let count = self.row_counts.entry(*sched).or_default();
-            debug_assert!(*count > 0, "row count must track its entries");
-            *count = count.saturating_sub(1);
+            self.admit(now, sched, tag);
+            admitted += 1;
             space -= 1;
         }
         if blocked {
@@ -209,38 +242,30 @@ impl IssueQueue for PrescheduledIq {
             // Recirculation: if nothing in the buffer is ready and an
             // older due instruction waits outside, swap it with the
             // youngest unready buffer entry so the machine cannot wedge.
-            let oldest_due = due
-                .iter()
-                .filter(|(_, _, i)| !self.entries[*i].in_buffer())
-                .map(|(_, tag, i)| (*tag, *i))
-                .min();
-            let buffer_has_ready = self.entries.iter().any(|e| e.in_buffer() && e.ready(now));
-            if let Some((due_tag, due_idx)) = oldest_due {
-                let youngest_buf = self
-                    .entries
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| e.in_buffer() && !e.ready(now))
-                    .map(|(i, e)| (e.tag, i))
-                    .max();
-                if let Some((buf_tag, buf_idx)) = youngest_buf {
+            let oldest_due = due[admitted..].iter().copied().min_by_key(|&(_, tag)| tag);
+            let buffer_has_ready = self.buffer.iter().any(|t| self.entries[t].ready(now));
+            if let Some((due_sched, due_tag)) = oldest_due {
+                let youngest_buf =
+                    self.buffer.iter().rev().copied().find(|t| !self.entries[t].ready(now));
+                if let Some(buf_tag) = youngest_buf {
                     if !buffer_has_ready && due_tag < buf_tag {
                         // Send the young unready entry back to the array,
                         // rescheduled one cycle out, and admit the older
                         // one.
-                        self.entries[buf_idx].entered_buffer_at = Cycle::MAX;
-                        self.entries[buf_idx].scheduled_at = now + 1;
+                        self.buffer.remove(&buf_tag);
+                        if let Some(e) = self.entries.get_mut(&buf_tag) {
+                            e.entered_buffer_at = Cycle::MAX;
+                            e.scheduled_at = now + 1;
+                        }
+                        self.array.insert((now + 1, buf_tag));
                         *self.row_counts.entry(now + 1).or_default() += 1;
-                        self.entries[due_idx].entered_buffer_at = now;
-                        let sched = self.entries[due_idx].scheduled_at;
-                        let count = self.row_counts.entry(sched).or_default();
-                        debug_assert!(*count > 0, "row count must track its entries");
-                        *count = count.saturating_sub(1);
+                        self.admit(now, due_sched, due_tag);
                         self.recirculations += 1;
                     }
                 }
             }
         }
+        self.scratch = due;
         // Prune empty row counters (rows in the past may still be
         // occupied by slipped entries, so prune by count, not by time).
         self.row_counts.retain(|_, v| *v > 0);
@@ -268,16 +293,15 @@ impl IssueQueue for PrescheduledIq {
             if let Some(s) = s {
                 if let Some(producer) = s.producer {
                     ops[i] = Some(DataOperand { producer, ready_at: s.known_ready_at });
+                    self.waiters.insert((producer, info.tag));
                 }
             }
         }
-        self.entries.push(Entry {
-            tag: info.tag,
-            op: info.op,
-            ops,
-            scheduled_at: slot,
-            entered_buffer_at: Cycle::MAX,
-        });
+        self.entries.insert(
+            info.tag,
+            Entry { op: info.op, ops, scheduled_at: slot, entered_buffer_at: Cycle::MAX },
+        );
+        self.array.insert((slot, info.tag));
         *self.row_counts.entry(slot).or_default() += 1;
         if let Some(dest) = info.dest {
             // Quasi-static: the placement row, not actual behaviour,
@@ -288,42 +312,57 @@ impl IssueQueue for PrescheduledIq {
         Ok(())
     }
 
+    // chainiq-analyze: hot
     fn select_issue(&mut self, now: Cycle, fus: &mut FuPool) -> Vec<IssuedInst> {
-        let mut ready: Vec<InstTag> = self
-            .entries
-            .iter()
-            .filter(|e| e.in_buffer() && e.entered_buffer_at < now && e.ready(now))
-            .map(|e| e.tag)
-            .collect();
-        ready.sort();
-        let mut issued = Vec::new();
-        for tag in ready {
+        let mut ready = std::mem::take(&mut self.scratch_tags);
+        ready.clear();
+        ready.extend(self.buffer.iter().copied().filter(|t| {
+            let e = &self.entries[t];
+            e.entered_buffer_at < now && e.ready(now)
+        }));
+        let mut issued = Vec::with_capacity(ready.len());
+        for &tag in &ready {
             if fus.slots_left() == 0 {
                 break;
             }
-            let idx = self.entries.iter().position(|e| e.tag == tag).expect("candidate present");
-            if !fus.try_issue(now, self.entries[idx].op) {
+            let op = self.entries[&tag].op;
+            if !fus.try_issue(now, op) {
                 continue;
             }
-            let e = self.entries.swap_remove(idx);
-            issued.push(IssuedInst { tag: e.tag, op: e.op });
+            self.remove_entry(tag);
+            issued.push(IssuedInst { tag, op });
         }
+        self.scratch_tags = ready;
         self.stats.issued += issued.len() as u64;
         issued
     }
 
+    // chainiq-analyze: hot
     fn announce_ready(&mut self, producer: InstTag, ready_at: Cycle) {
-        for e in &mut self.entries {
-            for o in e.ops.iter_mut().flatten() {
-                if o.producer == producer {
-                    o.ready_at = Some(ready_at);
+        let mut subs = std::mem::take(&mut self.scratch_tags);
+        subs.clear();
+        subs.extend(
+            self.waiters
+                .range((producer, InstTag(0))..=(producer, InstTag(u64::MAX)))
+                .map(|&(_, consumer)| consumer),
+        );
+        for tag in &subs {
+            if let Some(e) = self.entries.get_mut(tag) {
+                for o in e.ops.iter_mut().flatten() {
+                    if o.producer == producer {
+                        o.ready_at = Some(ready_at);
+                    }
                 }
             }
         }
+        self.scratch_tags = subs;
     }
 
     fn flush(&mut self) {
         self.entries.clear();
+        self.array.clear();
+        self.buffer.clear();
+        self.waiters.clear();
         self.row_counts.clear();
         self.reg_ready.fill(0);
     }
@@ -381,8 +420,8 @@ mod tests {
             DispatchInfo::compute(InstTag(1), OpClass::IntAlu, ArchReg::int(2), &[dep(1, 0)]),
         )
         .unwrap();
-        let load_row = iq.entries[0].scheduled_at;
-        let dep_row = iq.entries[1].scheduled_at;
+        let load_row = iq.entries[&InstTag(0)].scheduled_at;
+        let dep_row = iq.entries[&InstTag(1)].scheduled_at;
         assert_eq!(dep_row, load_row + 4, "consumer sits a predicted load latency behind");
     }
 
@@ -420,8 +459,8 @@ mod tests {
             )
             .unwrap();
         }
-        let first_row = iq.entries[0].scheduled_at;
-        let spilled = iq.entries.iter().filter(|e| e.scheduled_at == first_row + 1).count();
+        let first_row = iq.entries[&InstTag(0)].scheduled_at;
+        let spilled = iq.entries.values().filter(|e| e.scheduled_at == first_row + 1).count();
         assert_eq!(spilled, 3, "12 fit the first row, 3 spill");
     }
 

@@ -1,0 +1,147 @@
+//! Self-profiling perf gate: times the simulator itself over a fixed
+//! (benchmark, segmented-config) matrix and writes `BENCH_perf.json` —
+//! the repo's perf-trajectory artifact, diffed across commits to catch
+//! kernel regressions.
+//!
+//! Unlike the experiment binaries this measures *simulator throughput*
+//! (simulated kilocycles per wall-clock second), so every point runs
+//! serially on the calling thread regardless of `CHAINIQ_JOBS`. The
+//! matrix is fixed; only the per-run sample honors `CHAINIQ_SAMPLE` (so
+//! CI can smoke it cheaply into a scratch `CHAINIQ_BENCH_DIR`).
+//!
+//! Exits non-zero if the aggregate throughput is not a positive finite
+//! number — a malformed artifact must fail loudly, not rot silently.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use chainiq::Bench;
+use chainiq_bench::{results_dir, sample_size, segmented, PredictorConfig, RunSpec, TextTable};
+
+/// The fixed matrix: a spread of queue geometries, chain budgets and
+/// predictor settings so the gate exercises signal traffic, promotion
+/// pressure and chain churn, not one lucky configuration.
+fn matrix(sample: u64) -> Vec<(String, RunSpec)> {
+    let points = [
+        (Bench::Equake, 512, Some(128), PredictorConfig::Comb),
+        (Bench::Gcc, 512, Some(128), PredictorConfig::Comb),
+        (Bench::Swim, 512, None, PredictorConfig::Base),
+        (Bench::Ammp, 256, Some(64), PredictorConfig::Comb),
+        (Bench::Vortex, 128, Some(64), PredictorConfig::Hmp),
+        (Bench::Twolf, 256, Some(128), PredictorConfig::Lrp),
+    ];
+    points
+        .iter()
+        .map(|&(bench, entries, chains, pred)| {
+            let chain_label = chains.map_or_else(|| "inf".to_string(), |c| c.to_string());
+            let label = format!("{}/seg{}c{}/{}", bench.name(), entries, chain_label, pred.label());
+            (label, RunSpec::new(bench, segmented(entries, chains), pred, sample))
+        })
+        .collect()
+}
+
+struct Point {
+    label: String,
+    wall_s: f64,
+    sim_cycles: u64,
+    committed_insts: u64,
+}
+
+impl Point {
+    fn kcycles_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.sim_cycles as f64 / self.wall_s / 1e3
+        } else {
+            0.0
+        }
+    }
+}
+
+fn json(sample: u64, points: &[Point], agg: &Point) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"suite\": \"perf\",");
+    let _ = writeln!(s, "  \"sample\": {sample},");
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"point\": \"{}\", \"sim_kcycles_per_sec\": {:.3}, \"wall_s\": {:.6}, \
+             \"sim_cycles\": {}, \"committed_insts\": {}}}",
+            p.label,
+            p.kcycles_per_sec(),
+            p.wall_s,
+            p.sim_cycles,
+            p.committed_insts,
+        );
+        s.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"aggregate\": {{\"sim_kcycles_per_sec\": {:.3}, \"wall_s\": {:.6}, \
+         \"sim_cycles\": {}, \"committed_insts\": {}}}",
+        agg.kcycles_per_sec(),
+        agg.wall_s,
+        agg.sim_cycles,
+        agg.committed_insts,
+    );
+    s.push_str("}\n");
+    s
+}
+
+fn main() -> std::process::ExitCode {
+    let sample = sample_size();
+    println!("perf: simulator self-profile ({sample} committed instructions per point)\n");
+
+    let mut points = Vec::new();
+    for (label, spec) in matrix(sample) {
+        eprintln!("  running {label} ...");
+        let t0 = Instant::now();
+        let result = spec.execute();
+        let wall_s = t0.elapsed().as_secs_f64();
+        points.push(Point {
+            label,
+            wall_s,
+            sim_cycles: result.stats.cycles,
+            committed_insts: result.stats.committed,
+        });
+    }
+
+    let agg = Point {
+        label: "aggregate".to_string(),
+        wall_s: points.iter().map(|p| p.wall_s).sum(),
+        sim_cycles: points.iter().map(|p| p.sim_cycles).sum(),
+        committed_insts: points.iter().map(|p| p.committed_insts).sum(),
+    };
+
+    let mut t = TextTable::new(&["point", "kcycles/s", "wall", "sim cycles", "committed"]);
+    for p in points.iter().chain(std::iter::once(&agg)) {
+        t.row(&[
+            p.label.clone(),
+            format!("{:.1}", p.kcycles_per_sec()),
+            format!("{:.2} s", p.wall_s),
+            p.sim_cycles.to_string(),
+            p.committed_insts.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let dir = results_dir();
+    let path = dir.join("BENCH_perf.json");
+    let body = json(sample, &points, &agg);
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &body)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", path.display());
+            return std::process::ExitCode::from(2);
+        }
+    }
+
+    let throughput = agg.kcycles_per_sec();
+    if throughput.is_finite() && throughput > 0.0 {
+        std::process::ExitCode::SUCCESS
+    } else {
+        eprintln!("error: aggregate throughput is {throughput}; artifact would be malformed");
+        std::process::ExitCode::from(1)
+    }
+}

@@ -12,7 +12,7 @@ pub mod sweep;
 pub mod table;
 
 pub use knob::{jobs, knob};
-pub use runner::{BenchRunner, Measurement};
+pub use runner::{results_dir, BenchRunner, Measurement};
 pub use sweep::{sweep_map, RunSpec, Sweep};
 pub use table::TextTable;
 

@@ -91,6 +91,13 @@ fn median_ns(sorted: &[u64]) -> u64 {
 /// Compile-time `env!("CARGO_MANIFEST_DIR")` would bake the build host's
 /// absolute path into the binary, which goes stale the moment the binary
 /// is copied to another machine.
+/// The directory benchmark artifacts land in: `CHAINIQ_BENCH_DIR` when
+/// set, otherwise the runtime-discovered workspace `results/` directory.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    crate::knob::bench_dir().unwrap_or_else(default_results_dir)
+}
+
 fn default_results_dir() -> PathBuf {
     let starts = [std::env::current_exe().ok(), std::env::current_dir().ok()];
     for start in starts.iter().flatten() {
@@ -223,7 +230,7 @@ impl BenchRunner {
     pub fn finish(self) -> Option<std::path::PathBuf> {
         println!("\n{} ({} samples, warmup {}):", self.suite, self.samples, self.warmup);
         println!("{}", self.render());
-        let dir = crate::knob::bench_dir().unwrap_or_else(default_results_dir);
+        let dir = results_dir();
         let path = dir.join(format!("{}.json", self.suite));
         match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, self.to_json())) {
             Ok(()) => {

@@ -14,7 +14,7 @@ use crate::tag::InstTag;
 /// wire from the chain they joined (in hardware the release-at-writeback
 /// ordering makes the ambiguity harmless; the generation makes the model
 /// robust to it without changing timing).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChainRef {
     /// Wire index.
     pub id: u32,

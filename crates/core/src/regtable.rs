@@ -61,6 +61,11 @@ impl RegSched {
 }
 
 /// The register information table.
+///
+/// A flat per-register array. The table is small (one slot per
+/// architectural register) and its per-cycle paths sweep it linearly —
+/// the contiguous scan is measurably cheaper than maintaining chain or
+/// countdown indexes over it (see DESIGN.md §9).
 #[derive(Debug, Clone)]
 pub(crate) struct RegInfoTable {
     entries: Vec<RegSched>,
@@ -79,25 +84,26 @@ impl RegInfoTable {
         self.entries[reg.index()] = sched;
     }
 
-    /// Applies a chain-wire signal that reached the top of the queue.
+    /// Applies a chain-wire signal that reached the top of the queue to
+    /// every register listening on its chain.
+    // chainiq-analyze: hot
     pub(crate) fn apply_signal(&mut self, sig: WireSignal) {
         for e in &mut self.entries {
             if let RegSched::OnChain { chain, head_loc, self_timed, suspended, .. } = e {
-                if *chain != sig.chain {
-                    continue;
-                }
-                match sig.kind {
-                    SignalKind::Pulse => {
-                        if !*self_timed {
-                            if *head_loc > 0 {
-                                *head_loc -= 1;
-                            } else {
-                                *self_timed = true;
+                if *chain == sig.chain {
+                    match sig.kind {
+                        SignalKind::Pulse => {
+                            if !*self_timed {
+                                if *head_loc > 0 {
+                                    *head_loc -= 1;
+                                } else {
+                                    *self_timed = true;
+                                }
                             }
                         }
+                        SignalKind::Suspend => *suspended = true,
+                        SignalKind::Resume => *suspended = false,
                     }
-                    SignalKind::Suspend => *suspended = true,
-                    SignalKind::Resume => *suspended = false,
                 }
             }
         }
@@ -105,23 +111,40 @@ impl RegInfoTable {
 
     /// One cycle of countdowns. Signals for this cycle must be applied
     /// first (suspends take effect before the decrement they gate).
+    // chainiq-analyze: hot
     pub(crate) fn tick(&mut self) {
         for e in &mut self.entries {
-            match e {
+            *e = match *e {
                 RegSched::Countdown { remaining } => {
-                    *remaining -= 1;
-                    if *remaining <= 0 {
-                        *e = RegSched::Available;
+                    let r = remaining - 1;
+                    if r <= 0 {
+                        RegSched::Available
+                    } else {
+                        RegSched::Countdown { remaining: r }
                     }
                 }
-                RegSched::OnChain { latency, self_timed: true, suspended: false, .. } => {
-                    *latency -= 1;
-                    if *latency <= 0 {
-                        *e = RegSched::Available;
+                RegSched::OnChain {
+                    chain,
+                    latency,
+                    head_loc,
+                    self_timed: true,
+                    suspended: false,
+                } => {
+                    let l = latency - 1;
+                    if l <= 0 {
+                        RegSched::Available
+                    } else {
+                        RegSched::OnChain {
+                            chain,
+                            latency: l,
+                            head_loc,
+                            self_timed: true,
+                            suspended: false,
+                        }
                     }
                 }
-                _ => {}
-            }
+                other => other,
+            };
         }
     }
 

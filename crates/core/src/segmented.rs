@@ -1,4 +1,24 @@
 //! The segmented instruction queue (§3) with all §4 enhancements.
+//!
+//! # Kernel data structures (DESIGN.md §9)
+//!
+//! The kernel splits the per-cycle work by *density*. Sparse events —
+//! chain-wire signals and wakeup announcements — are delivered through
+//! indexes (per-segment follower lists, a producer→consumer waiter set)
+//! instead of scanning whole segments. Dense state — self-timed
+//! countdowns and promotion eligibility, which change for most of the
+//! window every cycle — is swept linearly over contiguous storage:
+//! entries live in a slab (`slots`) addressed by per-segment tag-sorted
+//! vectors, so the sweeps are cache-resident. Readiness statistics come
+//! from per-segment counters maintained incrementally, not from
+//! recounting the window.
+//!
+//! Every *write* path keeps the indexes coherent unconditionally; the
+//! `naive` flag only reroutes the *read* paths that have an indexed fast
+//! path through reference full scans, which is what the differential
+//! tests compare against.
+
+use std::collections::BTreeSet;
 
 use chainiq_isa::{Cycle, OpClass};
 
@@ -168,6 +188,18 @@ struct Entry {
     /// Cycle this entry last arrived in its segment; an entry cannot be
     /// selected for issue in the same cycle it entered segment 0.
     moved_at: Cycle,
+    /// Segment currently holding the entry (kept in sync with the
+    /// `segs` lists; 0 = issue buffer).
+    seg: usize,
+    /// Earliest cycle at which every data operand is known ready
+    /// (`Some(0)` when there are none), or `None` while any producer is
+    /// still unannounced. Changes only under `announce_ready`.
+    ready_cache: Option<Cycle>,
+    /// Slot holds a buffered instruction (false = free-listed).
+    live: bool,
+    /// This entry is included in its segment's `ready_count` (its
+    /// `ready_cache` has passed `last_now`).
+    counted: bool,
 }
 
 impl Entry {
@@ -175,8 +207,19 @@ impl Entry {
         self.sched_ops.iter().flatten().map(SchedOperand::delay).max().unwrap_or(0)
     }
 
+    fn compute_ready_cache(&self) -> Option<Cycle> {
+        let mut latest: Cycle = 0;
+        for d in self.data_ops.iter().flatten() {
+            match d.ready_at {
+                Some(r) => latest = latest.max(r),
+                None => return None,
+            }
+        }
+        Some(latest)
+    }
+
     fn data_ready(&self, now: Cycle) -> bool {
-        self.data_ops.iter().flatten().all(|d| d.ready_at.map(|r| r <= now).unwrap_or(false))
+        self.ready_cache.is_some_and(|c| c <= now)
     }
 
     fn apply_signal(&mut self, sig: WireSignal) {
@@ -185,6 +228,43 @@ impl Entry {
                 op.apply(sig.kind);
             }
         }
+    }
+}
+
+/// Inserts `(tag, slot)` into a tag-sorted segment list.
+// chainiq-analyze: hot
+fn seg_insert(list: &mut Vec<(InstTag, u32)>, tag: InstTag, slot: u32) {
+    let i = list.partition_point(|&(t, _)| t < tag);
+    list.insert(i, (tag, slot));
+}
+
+/// Removes `tag` from a tag-sorted segment list, if present.
+// chainiq-analyze: hot
+fn seg_remove(list: &mut Vec<(InstTag, u32)>, tag: InstTag) {
+    let i = list.partition_point(|&(t, _)| t < tag);
+    if i < list.len() && list[i].0 == tag {
+        list.remove(i);
+    }
+}
+
+/// Inserts a chain subscription into a `(chain, tag)`-sorted follower
+/// list, deduplicating (an entry with both operands on one chain
+/// subscribes once, exactly as the set-based index did).
+// chainiq-analyze: hot
+fn fol_insert(list: &mut Vec<(ChainRef, InstTag, u32)>, chain: ChainRef, tag: InstTag, slot: u32) {
+    let i = list.partition_point(|&(c, t, _)| (c, t) < (chain, tag));
+    if i == list.len() || (list[i].0, list[i].1) != (chain, tag) {
+        list.insert(i, (chain, tag, slot));
+    }
+}
+
+/// Removes a chain subscription from a follower list, if present
+/// (idempotent, mirroring `fol_insert`'s dedup).
+// chainiq-analyze: hot
+fn fol_remove(list: &mut Vec<(ChainRef, InstTag, u32)>, chain: ChainRef, tag: InstTag) {
+    let i = list.partition_point(|&(c, t, _)| (c, t) < (chain, tag));
+    if i < list.len() && (list[i].0, list[i].1) == (chain, tag) {
+        list.remove(i);
     }
 }
 
@@ -198,14 +278,38 @@ impl Entry {
 #[derive(Debug, Clone)]
 pub struct SegmentedIq {
     config: SegmentedIqConfig,
-    /// `segments[0]` is the issue buffer; higher indices are closer to
-    /// dispatch.
-    segments: Vec<Vec<Entry>>,
+    /// Entry slab: contiguous storage addressed by the slot numbers the
+    /// per-segment lists and indexes carry. Slots are recycled LIFO.
+    slots: Vec<Entry>,
+    free_slots: Vec<u32>,
+    /// `(tag, slot)` per segment, tag-sorted (= age order); `segs[0]` is
+    /// the issue buffer, higher indices are closer to dispatch.
+    segs: Vec<Vec<(InstTag, u32)>>,
+    /// Per-segment chain subscriptions, `(chain, tag, slot)`-sorted — the
+    /// follower list a wire signal is delivered through.
+    followers: Vec<Vec<(ChainRef, InstTag, u32)>>,
+    /// Producer-to-consumer tuples for wakeup delivery: `(producer, tag,
+    /// slot)` for every data operand of every buffered entry.
+    waiters: BTreeSet<(InstTag, InstTag, u32)>,
+    /// Data-ready entries per segment, as of `last_now` (the entries with
+    /// `counted` set).
+    ready_count: Vec<u64>,
+    /// Entries whose readiness lies in the future: `(ready_at, tag,
+    /// slot)`, counted as the clock passes each `ready_at`. Records can
+    /// go stale (a later announce moved the readiness); the drain
+    /// revalidates against the live entry instead of erasing eagerly.
+    ready_future: BTreeSet<(Cycle, InstTag, u32)>,
+    /// The cycle the ready counters were last advanced to.
+    last_now: Cycle,
     /// Free slots per segment as of the end of the previous cycle — the
     /// information promotion logic is allowed to use (§3.1).
     free_prev: Vec<usize>,
-    /// Signals travelling up the pipelined chain wires.
-    signals: Vec<WireSignal>,
+    /// Signals travelling up the pipelined chain wires, bucketed by the
+    /// segment they are currently visible in (promotion and dispatch
+    /// consult only the buckets that can reach them, instead of scanning
+    /// every signal in flight — the dominant cost under heavy chain
+    /// traffic).
+    sig_bufs: Vec<Vec<WireSignal>>,
     chains: ChainTable,
     /// One register information table per hardware thread context,
     /// grown on demand (index = `DispatchInfo::thread`).
@@ -216,6 +320,14 @@ pub struct SegmentedIq {
     issued_this_cycle: bool,
     /// Whether the previous cycle made any progress (issue or promotion).
     progress_last_cycle: bool,
+    /// Scratch buffers so the per-cycle hot paths never allocate.
+    scratch_pairs: Vec<(InstTag, u32)>,
+    scratch_picks: Vec<(InstTag, u32)>,
+    scratch_sigs: Vec<WireSignal>,
+    /// Route the read paths through the reference full scans instead of
+    /// the indexes (the write paths maintain the indexes either way).
+    /// Differential testing only; never set in production.
+    naive: bool,
 }
 
 impl SegmentedIq {
@@ -229,15 +341,35 @@ impl SegmentedIq {
         assert!(config.num_segments > 0 && config.segment_size > 0 && config.promote_width > 0);
         SegmentedIq {
             config,
-            segments: vec![Vec::with_capacity(config.segment_size); config.num_segments],
+            slots: Vec::with_capacity(config.capacity()),
+            free_slots: Vec::new(),
+            segs: vec![Vec::with_capacity(config.segment_size); config.num_segments],
+            followers: vec![Vec::with_capacity(2 * config.segment_size); config.num_segments],
+            waiters: BTreeSet::new(),
+            ready_count: vec![0; config.num_segments],
+            ready_future: BTreeSet::new(),
+            last_now: 0,
             free_prev: vec![config.segment_size; config.num_segments],
-            signals: Vec::new(),
+            sig_bufs: vec![Vec::new(); config.num_segments],
             chains: ChainTable::new(config.max_chains),
             regs: vec![RegInfoTable::new()],
             stats: SegmentedStats::default(),
             issued_this_cycle: false,
             progress_last_cycle: true,
+            scratch_pairs: Vec::new(),
+            scratch_picks: Vec::new(),
+            scratch_sigs: Vec::new(),
+            naive: false,
         }
+    }
+
+    /// Routes every read path through the reference full-scan kernel
+    /// (the indexes stay maintained either way). The differential tests
+    /// drive one queue in each mode and demand identical behavior; the
+    /// flag does not exist for production use.
+    #[cfg(any(test, feature = "naive_kernel"))]
+    pub fn set_naive_kernel(&mut self, naive: bool) {
+        self.naive = naive;
     }
 
     /// The configuration in force.
@@ -266,24 +398,32 @@ impl SegmentedIq {
     /// Panics if `k` is out of range.
     #[must_use]
     pub fn segment_len(&self, k: usize) -> usize {
-        self.segments[k].len()
+        self.segs[k].len()
+    }
+
+    /// Finds the slab slot holding `tag`, if buffered (test and
+    /// visualization paths; the hot paths carry slots directly).
+    fn find_slot(&self, tag: InstTag) -> Option<u32> {
+        for list in &self.segs {
+            let i = list.partition_point(|&(t, _)| t < tag);
+            if i < list.len() && list[i].0 == tag {
+                return Some(list[i].1);
+            }
+        }
+        None
     }
 
     /// The current delay value of the queued instruction `tag`, if it is
     /// still buffered (primarily for tests and visualization).
     #[must_use]
     pub fn delay_of(&self, tag: InstTag) -> Option<i64> {
-        self.segments.iter().flatten().find(|e| e.tag == tag).map(Entry::delay)
+        self.find_slot(tag).map(|s| self.slots[s as usize].delay())
     }
 
     /// The segment currently holding `tag`, if buffered.
     #[must_use]
     pub fn segment_of(&self, tag: InstTag) -> Option<usize> {
-        self.segments
-            .iter()
-            .enumerate()
-            .find(|(_, seg)| seg.iter().any(|e| e.tag == tag))
-            .map(|(k, _)| k)
+        self.find_slot(tag).map(|s| self.slots[s as usize].seg)
     }
 
     fn top(&self) -> usize {
@@ -291,110 +431,297 @@ impl SegmentedIq {
     }
 
     fn free(&self, k: usize) -> usize {
-        self.config.segment_size - self.segments[k].len()
+        self.config.segment_size - self.segs[k].len()
+    }
+
+    /// Stores `entry` in a free slab slot and returns the slot number.
+    // chainiq-analyze: hot
+    fn alloc_slot(&mut self, entry: Entry) -> u32 {
+        if let Some(s) = self.free_slots.pop() {
+            debug_assert!(!self.slots[s as usize].live);
+            self.slots[s as usize] = entry;
+            s
+        } else {
+            self.slots.push(entry);
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Inserts `slot` (with `tag` and `seg` already set in its entry)
+    /// into the per-segment lists, and counts it ready if its entry is.
+    // chainiq-analyze: hot
+    fn attach(&mut self, slot: u32) {
+        let e = &self.slots[slot as usize];
+        let (tag, seg, counted) = (e.tag, e.seg, e.counted);
+        let ops = e.sched_ops;
+        seg_insert(&mut self.segs[seg], tag, slot);
+        for op in ops.iter().flatten() {
+            if let Some(chain) = op.chain {
+                fol_insert(&mut self.followers[seg], chain, tag, slot);
+            }
+        }
+        if counted {
+            self.ready_count[seg] += 1;
+        }
+    }
+
+    /// Removes `slot` from the per-segment lists (it stays in the slab,
+    /// `ready_future` and `waiters` — callers either re-attach after
+    /// moving it or finish with `remove_fully`).
+    // chainiq-analyze: hot
+    fn detach(&mut self, slot: u32) {
+        let e = &self.slots[slot as usize];
+        let (tag, seg, counted) = (e.tag, e.seg, e.counted);
+        let ops = e.sched_ops;
+        seg_remove(&mut self.segs[seg], tag);
+        for op in ops.iter().flatten() {
+            if let Some(chain) = op.chain {
+                fol_remove(&mut self.followers[seg], chain, tag);
+            }
+        }
+        if counted {
+            self.ready_count[seg] -= 1;
+        }
+    }
+
+    /// Removes `slot` from the queue entirely (issue path), returning the
+    /// chain its instruction headed, if any. Stale `ready_future` records
+    /// are left behind; the drain revalidates liveness.
+    // chainiq-analyze: hot
+    fn remove_fully(&mut self, slot: u32) -> Option<ChainRef> {
+        self.detach(slot);
+        let e = &mut self.slots[slot as usize];
+        e.live = false;
+        let (tag, heads, dops) = (e.tag, e.heads_chain, e.data_ops);
+        for d in dops.iter().flatten() {
+            self.waiters.remove(&(d.producer, tag, slot));
+        }
+        self.free_slots.push(slot);
+        heads
+    }
+
+    /// Re-seats `slot` in the ready accounting after a data-operand
+    /// mutation.
+    // chainiq-analyze: hot
+    fn refresh_ready(&mut self, slot: u32) {
+        let e = &mut self.slots[slot as usize];
+        let new = e.compute_ready_cache();
+        if new == e.ready_cache {
+            return;
+        }
+        e.ready_cache = new;
+        let (tag, seg, was_counted) = (e.tag, e.seg, e.counted);
+        match new {
+            Some(c) if c <= self.last_now => {
+                if !was_counted {
+                    e.counted = true;
+                    self.ready_count[seg] += 1;
+                }
+            }
+            Some(c) => {
+                if was_counted {
+                    e.counted = false;
+                    self.ready_count[seg] -= 1;
+                }
+                self.ready_future.insert((c, tag, slot));
+            }
+            None => {
+                if was_counted {
+                    e.counted = false;
+                    self.ready_count[seg] -= 1;
+                }
+            }
+        }
+    }
+
+    /// Advances the ready counters to `now`, revalidating each matured
+    /// record against the live entry (records outlive re-announces and
+    /// issued entries; only a live, still-uncounted, actually-ready
+    /// entry is counted).
+    // chainiq-analyze: hot
+    fn drain_ready(&mut self, now: Cycle) {
+        self.last_now = now;
+        while let Some(&(c, tag, slot)) = self.ready_future.first() {
+            if c > now {
+                break;
+            }
+            self.ready_future.pop_first();
+            let e = &mut self.slots[slot as usize];
+            if e.live && e.tag == tag && !e.counted && e.ready_cache.is_some_and(|rc| rc <= now) {
+                e.counted = true;
+                self.ready_count[e.seg] += 1;
+            }
+        }
+    }
+
+    /// Delivers `sig` to the entries of its segment: through the
+    /// follower list normally, or to every resident in naive mode (the
+    /// per-operand chain check makes the two target sets equivalent).
+    // chainiq-analyze: hot
+    fn deliver_to_segment(&mut self, sig: WireSignal) {
+        if self.naive {
+            for i in 0..self.segs[sig.segment].len() {
+                let slot = self.segs[sig.segment][i].1;
+                self.slots[slot as usize].apply_signal(sig);
+            }
+        } else {
+            let list = &self.followers[sig.segment];
+            let lo = list.partition_point(|&(c, _, _)| c < sig.chain);
+            let hi = lo + list[lo..].partition_point(|&(c, _, _)| c == sig.chain);
+            for i in lo..hi {
+                let slot = self.followers[sig.segment][i].2;
+                self.slots[slot as usize].apply_signal(sig);
+            }
+        }
+    }
+
+    /// Applies a signal to every register table.
+    // chainiq-analyze: hot
+    fn deliver_to_regs(&mut self, sig: WireSignal) {
+        for t in &mut self.regs {
+            t.apply_signal(sig);
+        }
     }
 
     /// Asserts a signal at `segment` this cycle: applies it to the
     /// entries there (and the register table if at the top) and queues it
     /// for upward propagation.
+    // chainiq-analyze: hot
     fn assert_signal(&mut self, chain: ChainRef, kind: SignalKind, segment: usize) {
         self.stats.wire_signal_hops += 1;
         let sig = WireSignal { chain, kind, segment };
-        for e in &mut self.segments[segment] {
-            e.apply_signal(sig);
-        }
+        self.deliver_to_segment(sig);
         if segment == self.config.num_segments - 1 {
-            for t in &mut self.regs {
-                t.apply_signal(sig);
-            }
+            self.deliver_to_regs(sig);
         } else {
-            self.signals.push(sig);
+            self.sig_bufs[segment].push(sig);
         }
     }
 
-    /// Moves the wire signals one segment up and delivers them.
+    /// Moves the wire signals one segment up and delivers them. Buckets
+    /// are processed top-down — oldest signals first, matching the
+    /// assert-time order the single-list kernel used (signals in
+    /// different buckets land in disjoint segments, so only the
+    /// same-bucket order is observable, and that is preserved).
+    // chainiq-analyze: hot
     fn propagate_signals(&mut self) {
         let top = self.top();
-        self.stats.wire_signal_hops += self.signals.len() as u64;
-        let moved: Vec<WireSignal> = self
-            .signals
-            .drain(..)
-            .map(|mut s| {
-                s.segment += 1;
-                s
-            })
-            .collect();
-        for sig in moved {
-            for e in &mut self.segments[sig.segment] {
-                e.apply_signal(sig);
+        let mut moved = std::mem::take(&mut self.scratch_sigs);
+        for s in (0..top).rev() {
+            if self.sig_bufs[s].is_empty() {
+                continue;
             }
-            if sig.segment >= top {
-                for t in &mut self.regs {
-                    t.apply_signal(sig);
+            self.stats.wire_signal_hops += self.sig_bufs[s].len() as u64;
+            moved.clear();
+            moved.append(&mut self.sig_bufs[s]);
+            for &sent in &moved {
+                let mut sig = sent;
+                sig.segment += 1;
+                self.deliver_to_segment(sig);
+                if sig.segment >= top {
+                    self.deliver_to_regs(sig);
+                } else {
+                    self.sig_bufs[sig.segment].push(sig);
                 }
-            } else {
-                self.signals.push(sig);
             }
+        }
+        self.scratch_sigs = moved;
+    }
+
+    /// One cycle of self-timed countdowns. Live countdowns are *dense* —
+    /// in steady state most chain members hold one — so this is a sweep
+    /// of the resident entries, not an indexed visit (an index here
+    /// costs more in churn than the sweep; see DESIGN.md §9). The
+    /// per-entry tick is independent, so sweep order is immaterial: a
+    /// mostly-full slab is swept sequentially, a mostly-empty one
+    /// through the segment lists to skip the dead slots.
+    // chainiq-analyze: hot
+    fn tick_countdowns(&mut self) {
+        let live = self.slots.len() - self.free_slots.len();
+        if 2 * live >= self.slots.len() {
+            for e in &mut self.slots {
+                if e.live {
+                    for op in e.sched_ops.iter_mut().flatten() {
+                        op.tick();
+                    }
+                }
+            }
+        } else {
+            for k in 0..self.segs.len() {
+                for i in 0..self.segs[k].len() {
+                    let slot = self.segs[k][i].1;
+                    for op in self.slots[slot as usize].sched_ops.iter_mut().flatten() {
+                        op.tick();
+                    }
+                }
+            }
+        }
+        for t in &mut self.regs {
+            t.tick();
         }
     }
 
     /// Selects up to `budget` entries of `seg` for promotion: eligible
     /// (delay below the destination threshold) oldest-first, then — if
-    /// pushdown applies — oldest ineligible entries.
-    fn choose_promotions(&self, seg: usize, budget: usize) -> Vec<InstTag> {
+    /// pushdown applies — oldest ineligible entries. Eligibility is
+    /// recomputed by scanning the segment: delay values change for most
+    /// of the window every cycle, so an eligibility index is all churn
+    /// (both kernels share this path; the scan *is* the reference).
+    // chainiq-analyze: hot
+    fn choose_promotions_into(&self, seg: usize, budget: usize, picks: &mut Vec<(InstTag, u32)>) {
         let threshold = self.config.threshold(seg - 1);
-        let mut eligible: Vec<(InstTag, i64)> = self.segments[seg]
-            .iter()
-            .map(|e| (e.tag, e.delay()))
-            .filter(|(_, d)| *d < threshold)
-            .collect();
-        eligible.sort_by_key(|(t, _)| *t);
-        let mut picks: Vec<InstTag> = eligible.iter().take(budget).map(|(t, _)| *t).collect();
+        let list = &self.segs[seg];
+        for &(tag, slot) in list {
+            if picks.len() == budget {
+                break;
+            }
+            if self.slots[slot as usize].delay() < threshold {
+                picks.push((tag, slot));
+            }
+        }
+        if self.pushdown_applies(seg, budget, picks.len()) {
+            let mut room = (budget - picks.len()).min(self.config.promote_width);
+            for &(tag, slot) in list {
+                if room == 0 {
+                    break;
+                }
+                if self.slots[slot as usize].delay() >= threshold {
+                    picks.push((tag, slot));
+                    room -= 1;
+                }
+            }
+        }
+    }
 
-        if self.config.pushdown
-            && picks.len() < budget
+    fn pushdown_applies(&self, seg: usize, budget: usize, picked: usize) -> bool {
+        self.config.pushdown
+            && picked < budget
             && self.free(seg) < self.config.promote_width
             && self.free_prev[seg - 1] * 2 > 3 * self.config.promote_width
-        {
-            let mut ineligible: Vec<InstTag> = self.segments[seg]
-                .iter()
-                .filter(|e| e.delay() >= threshold)
-                .map(|e| e.tag)
-                .collect();
-            ineligible.sort();
-            let room = budget - picks.len();
-            picks.extend(ineligible.into_iter().take(room.min(self.config.promote_width)));
-        }
-        picks
     }
 
-    fn remove_entry(&mut self, seg: usize, tag: InstTag) -> Entry {
-        let idx = self.segments[seg]
-            .iter()
-            .position(|e| e.tag == tag)
-            .expect("entry to remove must exist");
-        self.segments[seg].swap_remove(idx)
-    }
-
-    /// Moves `tag` from `seg` to `seg - 1`, asserting the chain wire if
+    /// Moves `slot` from `seg` to `seg - 1`, asserting the chain wire if
     /// it heads a chain.
-    fn promote_one(&mut self, now: Cycle, seg: usize, tag: InstTag, pushdown: bool) {
-        let mut entry = self.remove_entry(seg, tag);
-        entry.moved_at = now;
-        if let Some(chain) = entry.heads_chain {
-            // The head asserts its wire in the segment it leaves (§3.3).
+    // chainiq-analyze: hot
+    fn promote_one(&mut self, now: Cycle, seg: usize, slot: u32, pushdown: bool) {
+        // Detach first: the mover must not receive its own pulse, which
+        // is asserted in the segment it leaves (§3.3).
+        self.detach(slot);
+        if let Some(chain) = self.slots[slot as usize].heads_chain {
             self.assert_signal(chain, SignalKind::Pulse, seg);
         }
         // A promotion moves against the upward-travelling wire signals: a
         // signal currently visible in the destination segment would reach
         // the source segment next cycle and miss the mover, so deliver it
-        // on the way past.
-        for sig in &self.signals {
-            if sig.segment + 1 == seg {
-                entry.apply_signal(*sig);
-            }
+        // on the way past (exactly the `seg - 1` bucket).
+        for i in 0..self.sig_bufs[seg - 1].len() {
+            let s = self.sig_bufs[seg - 1][i];
+            self.slots[slot as usize].apply_signal(s);
         }
-        self.segments[seg - 1].push(entry);
+        let e = &mut self.slots[slot as usize];
+        e.moved_at = now;
+        e.seg = seg - 1;
+        self.attach(slot);
         if pushdown {
             self.stats.pushdowns += 1;
         } else {
@@ -402,8 +729,10 @@ impl SegmentedIq {
         }
     }
 
+    // chainiq-analyze: hot
     fn run_promotion(&mut self, now: Cycle) -> u64 {
         let mut promoted = 0u64;
+        let mut picks = std::mem::take(&mut self.scratch_picks);
         for seg in 1..self.config.num_segments {
             let space = self.free_prev[seg - 1].min(self.free(seg - 1));
             let budget = space.min(self.config.promote_width);
@@ -411,31 +740,39 @@ impl SegmentedIq {
                 continue;
             }
             let threshold = self.config.threshold(seg - 1);
-            let picks = self.choose_promotions(seg, budget);
-            for tag in picks {
-                let is_pushdown = self.segments[seg]
-                    .iter()
-                    .find(|e| e.tag == tag)
-                    .map(|e| e.delay() >= threshold)
-                    .unwrap_or(false);
-                self.promote_one(now, seg, tag, is_pushdown);
+            picks.clear();
+            self.choose_promotions_into(seg, budget, &mut picks);
+            for &(_, slot) in &picks {
+                // Re-read the live delay: an earlier pick's pulse this
+                // cycle may have changed it since the pick was made.
+                let is_pushdown = self.slots[slot as usize].delay() >= threshold;
+                self.promote_one(now, seg, slot, is_pushdown);
                 promoted += 1;
             }
         }
+        self.scratch_picks = picks;
         promoted
     }
 
     /// §4.5 recovery: guarantee a free slot in every segment and keep the
     /// oldest ready instruction moving toward issue.
     fn run_deadlock_recovery(&mut self, now: Cycle) {
+        self.drain_ready(now);
         self.stats.deadlock_cycles += 1;
         // If the issue buffer is full of unready instructions, recycle
         // the youngest back to the top.
-        let mut recycled: Option<Entry> = None;
-        if self.free(0) == 0 && !self.segments[0].iter().any(|e| e.data_ready(now)) {
-            let youngest = self.segments[0].iter().map(|e| e.tag).max().expect("segment 0 is full");
-            recycled = Some(self.remove_entry(0, youngest));
-            self.stats.recovery_recycles += 1;
+        let mut recycled: Option<u32> = None;
+        let seg0_has_ready = if self.naive {
+            self.segs[0].iter().any(|&(_, s)| self.slots[s as usize].data_ready(now))
+        } else {
+            self.ready_count[0] > 0
+        };
+        if self.free(0) == 0 && !seg0_has_ready {
+            if let Some(&(_, slot)) = self.segs[0].last() {
+                self.detach(slot);
+                recycled = Some(slot);
+                self.stats.recovery_recycles += 1;
+            }
         }
         // Bottom-up, every full segment force-promotes one instruction
         // (eligible if available, else the oldest ineligible).
@@ -444,23 +781,42 @@ impl SegmentedIq {
                 continue;
             }
             let threshold = self.config.threshold(seg - 1);
-            let pick = self.segments[seg]
+            let pick = self.segs[seg]
                 .iter()
-                .filter(|e| e.delay() < threshold)
-                .map(|e| e.tag)
-                .min()
-                .or_else(|| self.segments[seg].iter().map(|e| e.tag).min());
-            if let Some(tag) = pick {
-                self.promote_one(now, seg, tag, false);
+                .find(|&&(_, s)| self.slots[s as usize].delay() < threshold)
+                .or_else(|| self.segs[seg].first())
+                .map(|&(_, s)| s);
+            if let Some(slot) = pick {
+                self.promote_one(now, seg, slot, false);
                 self.stats.recovery_promotions += 1;
             }
         }
-        if let Some(entry) = recycled {
+        if let Some(slot) = recycled {
             let top = self.top();
             // Recovery freed a slot in the top segment if it was full.
+            // The recycled entry keeps its `moved_at` and sees no
+            // in-flight signals, exactly as the scan kernel moved it.
             let dest = (0..=top).rev().find(|&k| self.free(k) > 0).unwrap_or(top);
-            self.segments[dest].push(entry);
+            self.slots[slot as usize].seg = dest;
+            self.attach(slot);
         }
+    }
+
+    /// Reference ready-count sample by full scan (naive mode).
+    fn ready_scan_naive(&self, now: Cycle) -> (u64, u64) {
+        let mut ready0 = 0u64;
+        let mut ready_all = 0u64;
+        for (k, list) in self.segs.iter().enumerate() {
+            for &(_, slot) in list {
+                if self.slots[slot as usize].data_ready(now) {
+                    ready_all += 1;
+                    if k == 0 {
+                        ready0 += 1;
+                    }
+                }
+            }
+        }
+        (ready0, ready_all)
     }
 
     /// Builds the scheduling operand for one source register, from the
@@ -504,7 +860,7 @@ impl SegmentedIq {
         if !self.config.bypass {
             return (self.free(top) > 0).then_some(top);
         }
-        let highest_nonempty = (0..=top).rev().find(|&k| !self.segments[k].is_empty()).unwrap_or(0);
+        let highest_nonempty = (0..=top).rev().find(|&k| !self.segs[k].is_empty()).unwrap_or(0);
         if self.free(highest_nonempty) > 0 {
             Some(highest_nonempty)
         } else if highest_nonempty < top {
@@ -521,9 +877,10 @@ impl IssueQueue for SegmentedIq {
     }
 
     fn occupancy(&self) -> usize {
-        self.segments.iter().map(Vec::len).sum()
+        self.segs.iter().map(Vec::len).sum()
     }
 
+    // chainiq-analyze: hot
     fn tick(&mut self, now: Cycle, execution_idle: bool) {
         // Snapshot each segment's free-slot count as of the end of the
         // previous cycle (= start of this one, after last cycle's issue
@@ -531,20 +888,32 @@ impl IssueQueue for SegmentedIq {
         for k in 0..self.config.num_segments {
             self.free_prev[k] = self.free(k);
         }
+        self.drain_ready(now);
 
-        // Per-cycle statistics.
+        // Per-cycle statistics, sampled from the maintained counters (the
+        // scan kernel recomputed readiness per entry here every cycle).
         self.stats.iq.cycles += 1;
-        self.stats.iq.occupancy_accum += self.occupancy() as u64;
-        self.stats.seg0_occupancy_accum += self.segments[0].len() as u64;
+        let mut occupancy = 0u64;
+        let mut empty = 0u64;
+        for s in &self.segs {
+            occupancy += s.len() as u64;
+            if s.is_empty() {
+                empty += 1;
+            }
+        }
+        self.stats.iq.occupancy_accum += occupancy;
+        self.stats.seg0_occupancy_accum += self.segs[0].len() as u64;
         self.stats.num_segments = self.config.num_segments;
-        self.stats.empty_segment_cycles +=
-            self.segments.iter().filter(|s| s.is_empty()).count() as u64;
-        let ready0 = self.segments[0].iter().filter(|e| e.data_ready(now)).count() as u64;
-        let ready_all: u64 = self
-            .segments
-            .iter()
-            .map(|s| s.iter().filter(|e| e.data_ready(now)).count() as u64)
-            .sum();
+        self.stats.empty_segment_cycles += empty;
+        let (ready0, ready_all) = if self.naive {
+            self.ready_scan_naive(now)
+        } else {
+            let mut all = 0u64;
+            for &c in &self.ready_count {
+                all += c;
+            }
+            (self.ready_count[0], all)
+        };
         self.stats.ready_in_seg0_accum += ready0;
         self.stats.ready_total_accum += ready_all;
         self.chains.sample(now);
@@ -553,16 +922,7 @@ impl IssueQueue for SegmentedIq {
         self.propagate_signals();
 
         // 2. Self-timed countdowns (suspends delivered above gate these).
-        for seg in &mut self.segments {
-            for e in seg.iter_mut() {
-                for op in e.sched_ops.iter_mut().flatten() {
-                    op.tick();
-                }
-            }
-        }
-        for t in &mut self.regs {
-            t.tick();
-        }
+        self.tick_countdowns();
 
         // 3. Chain/threshold-driven promotion.
         let promoted = self.run_promotion(now);
@@ -722,44 +1082,79 @@ impl IssueQueue for SegmentedIq {
             self.stats.segments_bypassed += (self.top() - target) as u64;
         }
 
-        let mut entry =
-            Entry { tag: info.tag, op: info.op, data_ops, sched_ops, heads_chain, moved_at: now };
+        let mut entry = Entry {
+            tag: info.tag,
+            op: info.op,
+            data_ops,
+            sched_ops,
+            heads_chain,
+            moved_at: now,
+            seg: target,
+            ready_cache: None,
+            live: true,
+            counted: false,
+        };
         // The register table lags the wire pipeline: signals between the
         // landing segment and the top have been seen by neither the table
         // nor (ever again) this segment. Deliver them now so a bypassed
-        // dispatch starts from the state a resident entry would hold.
-        for sig in &self.signals {
-            if sig.segment >= target {
+        // dispatch starts from the state a resident entry would hold
+        // (top-down = assert-time order, as the single-list kernel
+        // applied them).
+        for s in (target..self.top()).rev() {
+            for sig in &self.sig_bufs[s] {
                 entry.apply_signal(*sig);
             }
         }
-        self.segments[target].push(entry);
+        entry.ready_cache = entry.compute_ready_cache();
+        match entry.ready_cache {
+            Some(c) if c <= self.last_now => entry.counted = true,
+            _ => {}
+        }
+        let tag = info.tag;
+        let future = match entry.ready_cache {
+            Some(c) if c > self.last_now => Some(c),
+            _ => None,
+        };
+        let slot = self.alloc_slot(entry);
+        if let Some(c) = future {
+            self.ready_future.insert((c, tag, slot));
+        }
+        for d in data_ops.iter().flatten() {
+            self.waiters.insert((d.producer, tag, slot));
+        }
+        self.attach(slot);
         Ok(())
     }
 
+    // chainiq-analyze: hot
     fn select_issue(&mut self, now: Cycle, fus: &mut FuPool) -> Vec<IssuedInst> {
-        let mut ready: Vec<InstTag> = self.segments[0]
-            .iter()
-            .filter(|e| e.data_ready(now) && e.moved_at < now)
-            .map(|e| e.tag)
-            .collect();
-        ready.sort();
-        let mut issued = Vec::new();
-        for tag in ready {
-            let op =
-                self.segments[0].iter().find(|e| e.tag == tag).expect("candidate still queued").op;
+        self.drain_ready(now);
+        let mut ready = std::mem::take(&mut self.scratch_pairs);
+        ready.clear();
+        // Tag-order scan of the issue buffer, preserving the scan
+        // kernel's oldest-first selection (the buffer is one segment —
+        // the scan is the fast path and the reference at once).
+        for &(tag, slot) in &self.segs[0] {
+            let e = &self.slots[slot as usize];
+            if e.data_ready(now) && e.moved_at < now {
+                ready.push((tag, slot));
+            }
+        }
+        let mut issued = Vec::with_capacity(ready.len());
+        for &(tag, slot) in &ready {
+            let op = self.slots[slot as usize].op;
             if fus.slots_left() == 0 {
                 break;
             }
             if !fus.try_issue(now, op) {
                 continue; // unit busy; try other op kinds
             }
-            let entry = self.remove_entry(0, tag);
-            if let Some(chain) = entry.heads_chain {
+            if let Some(chain) = self.remove_fully(slot) {
                 self.assert_signal(chain, SignalKind::Pulse, 0);
             }
             issued.push(IssuedInst { tag, op });
         }
+        self.scratch_pairs = ready;
         self.stats.iq.issued += issued.len() as u64;
         if !issued.is_empty() {
             self.issued_this_cycle = true;
@@ -767,16 +1162,33 @@ impl IssueQueue for SegmentedIq {
         issued
     }
 
+    // chainiq-analyze: hot
     fn announce_ready(&mut self, producer: InstTag, ready_at: Cycle) {
-        for seg in &mut self.segments {
-            for e in seg.iter_mut() {
-                for d in e.data_ops.iter_mut().flatten() {
-                    if d.producer == producer {
-                        d.ready_at = Some(ready_at);
-                    }
+        let mut targets = std::mem::take(&mut self.scratch_pairs);
+        targets.clear();
+        if self.naive {
+            for list in &self.segs {
+                targets.extend(list.iter().copied());
+            }
+        } else {
+            let lo = (producer, InstTag(0), 0u32);
+            let hi = (producer, InstTag(u64::MAX), u32::MAX);
+            targets.extend(self.waiters.range(lo..=hi).map(|&(_, t, s)| (t, s)));
+        }
+        for &(_, slot) in &targets {
+            let e = &mut self.slots[slot as usize];
+            let mut touched = false;
+            for d in e.data_ops.iter_mut().flatten() {
+                if d.producer == producer {
+                    d.ready_at = Some(ready_at);
+                    touched = true;
                 }
             }
+            if touched {
+                self.refresh_ready(slot);
+            }
         }
+        self.scratch_pairs = targets;
     }
 
     fn on_load_miss(&mut self, tag: InstTag) {
@@ -796,10 +1208,20 @@ impl IssueQueue for SegmentedIq {
     }
 
     fn flush(&mut self) {
-        for seg in &mut self.segments {
-            seg.clear();
+        self.slots.clear();
+        self.free_slots.clear();
+        for s in &mut self.segs {
+            s.clear();
         }
-        self.signals.clear();
+        for s in &mut self.followers {
+            s.clear();
+        }
+        self.ready_count.fill(0);
+        self.ready_future.clear();
+        self.waiters.clear();
+        for b in &mut self.sig_bufs {
+            b.clear();
+        }
         self.chains.release_all();
         for t in &mut self.regs {
             t.reset();
@@ -1685,6 +2107,49 @@ mod tests {
     }
 
     #[test]
+    fn tick_stats_counters_pinned() {
+        // Pinned against the original scan-based stats path: the
+        // counters sampled at the top of `tick` must not move when they
+        // are re-sourced from the maintained ready/occupancy sets.
+        let mut cfg = cfg3x8();
+        cfg.bypass = false;
+        let mut iq = SegmentedIq::new(cfg);
+        iq.dispatch(
+            0,
+            DispatchInfo::load(InstTag(0), ArchReg::int(1), ready_src(ArchReg::int(9)), false),
+        )
+        .unwrap();
+        iq.dispatch(
+            0,
+            DispatchInfo::compute(
+                InstTag(1),
+                OpClass::IntMul,
+                ArchReg::int(2),
+                &[dep_src(ArchReg::int(1), InstTag(0))],
+            ),
+        )
+        .unwrap();
+        iq.dispatch(0, DispatchInfo::compute(InstTag(2), OpClass::IntAlu, ArchReg::int(3), &[]))
+            .unwrap();
+        let issued = run_until_issued(&mut iq, 3, 40);
+        assert_eq!(issued.len(), 3);
+        let s = iq.full_stats();
+        assert_eq!(
+            (
+                s.ready_in_seg0_accum,
+                s.ready_total_accum,
+                s.seg0_occupancy_accum,
+                s.iq.occupancy_accum,
+                s.empty_segment_cycles,
+                s.wire_signal_hops,
+                s.promotions,
+            ),
+            (3, 11, 3, 14, 14, 6, 6),
+            "stats sampled by tick must match the scan-based implementation"
+        );
+    }
+
+    #[test]
     fn occupancy_and_capacity() {
         let mut iq = SegmentedIq::new(cfg3x8());
         assert_eq!(iq.capacity(), 24);
@@ -1692,5 +2157,185 @@ mod tests {
         iq.dispatch(0, DispatchInfo::compute(InstTag(0), OpClass::IntAlu, ArchReg::int(1), &[]))
             .unwrap();
         assert_eq!(iq.occupancy(), 1);
+    }
+}
+
+/// Differential tests: the indexed kernel against the naive full-scan
+/// reference. Both modes share every write path (the indexes are always
+/// maintained); these tests drive both over random programs, cache-miss
+/// traffic and mid-run flushes, and demand cycle-identical issue
+/// schedules and statistics.
+#[cfg(test)]
+mod differential {
+    use super::*;
+    use crate::tag::SrcOperand;
+    use chainiq_devtest::{prop_assert_eq, prop_check, Gen};
+    use chainiq_isa::ArchReg;
+
+    #[derive(Debug, Clone)]
+    struct RandInst {
+        op_pick: u8,
+        dest: u8,
+        src1: Option<u8>,
+        src2: Option<u8>,
+        predicted_hit: bool,
+    }
+
+    fn rand_inst(g: &mut Gen) -> RandInst {
+        RandInst {
+            op_pick: g.u8(0..6),
+            dest: g.u8(0..24),
+            src1: g.option(|g| g.u8(0..24)),
+            src2: g.option(|g| g.u8(0..24)),
+            predicted_hit: g.bool(),
+        }
+    }
+
+    fn op_of(pick: u8) -> OpClass {
+        match pick {
+            0 | 1 => OpClass::IntAlu,
+            2 => OpClass::IntMul,
+            3 => OpClass::FpAdd,
+            4 => OpClass::FpMul,
+            _ => OpClass::Load,
+        }
+    }
+
+    fn rand_cfg(g: &mut Gen) -> SegmentedIqConfig {
+        SegmentedIqConfig {
+            num_segments: g.usize(1..6),
+            segment_size: [4, 8, 16][g.usize(0..3)],
+            promote_width: g.usize(1..5),
+            max_chains: g.option(|g| g.usize(2..48)),
+            pushdown: g.bool(),
+            bypass: g.bool(),
+            two_chain_tracking: g.bool(),
+            deadlock_recovery: g.bool(),
+            predicted_load_latency: 4,
+            countdown_includes_descent: g.bool(),
+        }
+    }
+
+    /// Drives one queue through a fully deterministic script: random
+    /// dependence graph, every third load misses (fill + writeback 12
+    /// cycles later), optional mid-run flush. Returns the issue schedule
+    /// `(cycle, tag)` and the final statistics.
+    fn drive(
+        iq: &mut SegmentedIq,
+        program: &[RandInst],
+        limit: u64,
+        flush_at: Option<u64>,
+    ) -> (Vec<(u64, InstTag)>, SegmentedStats) {
+        let mut fus = FuPool::table1();
+        let mut last_writer: [Option<InstTag>; 32] = [None; 32];
+        let mut completed: Vec<bool> = vec![false; program.len()];
+        let mut dispatched: Vec<bool> = vec![false; program.len()];
+        let mut fills: Vec<(u64, InstTag)> = Vec::new();
+        let mut next = 0usize;
+        let mut schedule = Vec::new();
+
+        for now in 1..=limit {
+            let mut k = 0;
+            while k < fills.len() {
+                if fills[k].0 == now {
+                    let (_, tag) = fills.swap_remove(k);
+                    iq.on_load_fill(tag);
+                    iq.announce_ready(tag, now);
+                    iq.on_writeback(tag);
+                    completed[tag.0 as usize] = true;
+                } else {
+                    k += 1;
+                }
+            }
+            iq.tick(now, schedule.len() == program.len());
+            for sel in iq.select_issue(now, &mut fus) {
+                if sel.op == OpClass::Load && sel.tag.0 % 3 == 0 {
+                    iq.on_load_miss(sel.tag);
+                    iq.announce_ready(sel.tag, now + 12);
+                    fills.push((now + 12, sel.tag));
+                } else {
+                    iq.announce_ready(sel.tag, now + u64::from(sel.op.exec_latency()));
+                    iq.on_writeback(sel.tag);
+                    completed[sel.tag.0 as usize] = true;
+                }
+                schedule.push((now, sel.tag));
+            }
+            fus.next_cycle();
+            for _ in 0..4 {
+                if next >= program.len() {
+                    break;
+                }
+                let r = &program[next];
+                let tag = InstTag(next as u64);
+                let src = |s: Option<u8>| {
+                    s.map(|reg| SrcOperand {
+                        reg: ArchReg::int(reg),
+                        producer: last_writer[reg as usize].filter(|p| !completed[p.0 as usize]),
+                        known_ready_at: if last_writer[reg as usize]
+                            .map(|p| completed[p.0 as usize])
+                            .unwrap_or(true)
+                        {
+                            Some(0)
+                        } else {
+                            None
+                        },
+                    })
+                };
+                let info = DispatchInfo {
+                    tag,
+                    op: op_of(r.op_pick),
+                    dest: Some(ArchReg::int(r.dest)),
+                    srcs: [src(r.src1), src(r.src2)],
+                    predicted_hit: r.predicted_hit,
+                    lrp_pick: None,
+                    thread: 0,
+                };
+                match iq.dispatch(now, info) {
+                    Ok(()) => {
+                        last_writer[r.dest as usize] = Some(tag);
+                        dispatched[next] = true;
+                        next += 1;
+                    }
+                    Err(DispatchStall::QueueFull | DispatchStall::NoChainWire) => break,
+                }
+            }
+            if flush_at == Some(now) {
+                iq.flush();
+                fills.clear();
+                // Model a squash: values of discarded in-flight producers
+                // are treated as ready for everything dispatched later.
+                for i in 0..program.len() {
+                    if dispatched[i] {
+                        completed[i] = true;
+                    }
+                }
+            }
+        }
+        (schedule, iq.full_stats())
+    }
+
+    prop_check! {
+        /// The indexed read paths (follower lists, ready sets, active
+        /// countdown sets) must reproduce the naive full-scan kernel
+        /// cycle for cycle: identical issue schedules, identical final
+        /// statistics, for any program, geometry and feature mix.
+        fn indexed_kernel_matches_naive_reference(g, cases = 40) {
+            let program = g.vec(1..100, rand_inst);
+            let cfg = rand_cfg(g);
+            let limit = 1500;
+            let flush_at = if g.bool() { Some(limit / 2) } else { None };
+            let mut fast = SegmentedIq::new(cfg);
+            let mut naive = SegmentedIq::new(cfg);
+            naive.set_naive_kernel(true);
+            let (sched_fast, stats_fast) = drive(&mut fast, &program, limit, flush_at);
+            let (sched_naive, stats_naive) = drive(&mut naive, &program, limit, flush_at);
+            prop_assert_eq!(sched_fast, sched_naive, "issue schedules diverge");
+            prop_assert_eq!(
+                format!("{stats_fast:?}"),
+                format!("{stats_naive:?}"),
+                "final statistics diverge"
+            );
+            prop_assert_eq!(fast.occupancy(), naive.occupancy());
+        }
     }
 }

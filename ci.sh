@@ -43,4 +43,29 @@ echo "== sweep smoke: fig3 on 2 workers at a small sample"
 CHAINIQ_SAMPLE=2000 CHAINIQ_JOBS=2 \
     cargo run -p chainiq-bench --release --bin fig3 --offline >/dev/null
 
+echo "== checkpoint smoke: snapshot, restore, compare (cold vs cached stdout)"
+# First cached run simulates cold and saves warmup images; the second
+# restores them (serial) and the third restores them concurrently. All
+# three must render byte-identical tables to the uncached run.
+CKPT_CACHE="$PERF_DIR/ckpt-cache"
+run_fig3() {
+    CHAINIQ_SAMPLE=2000 CHAINIQ_BENCH_DIR="$PERF_DIR" "$@" \
+        cargo run -p chainiq-bench --release --bin fig3 --offline
+}
+run_fig3 env CHAINIQ_JOBS=1 > "$PERF_DIR/fig3-cold.txt"
+run_fig3 env CHAINIQ_JOBS=1 CHAINIQ_CKPT=1 CHAINIQ_CKPT_DIR="$CKPT_CACHE" \
+    > "$PERF_DIR/fig3-save.txt"
+run_fig3 env CHAINIQ_JOBS=1 CHAINIQ_CKPT=1 CHAINIQ_CKPT_DIR="$CKPT_CACHE" \
+    > "$PERF_DIR/fig3-restore.txt"
+run_fig3 env CHAINIQ_JOBS=4 CHAINIQ_CKPT=1 CHAINIQ_CKPT_DIR="$CKPT_CACHE" \
+    > "$PERF_DIR/fig3-restore-par.txt"
+cmp "$PERF_DIR/fig3-cold.txt" "$PERF_DIR/fig3-save.txt" \
+    || { echo "ci.sh: checkpoint-saving run diverged from cold stdout" >&2; exit 1; }
+cmp "$PERF_DIR/fig3-cold.txt" "$PERF_DIR/fig3-restore.txt" \
+    || { echo "ci.sh: checkpoint-restored run diverged from cold stdout" >&2; exit 1; }
+cmp "$PERF_DIR/fig3-cold.txt" "$PERF_DIR/fig3-restore-par.txt" \
+    || { echo "ci.sh: concurrent checkpoint-restored run diverged from cold stdout" >&2; exit 1; }
+[ -n "$(ls -A "$CKPT_CACHE" 2>/dev/null)" ] \
+    || { echo "ci.sh: checkpoint cache directory is empty after a caching run" >&2; exit 1; }
+
 echo "ci.sh: all checks passed"

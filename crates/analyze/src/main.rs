@@ -31,7 +31,8 @@ per-cycle kernel function with `// chainiq-analyze: hot` to opt it into P2.
 Rules: D1 hash collections in sim crates; D2 wall clocks outside bench/devtest;
 D3 env reads outside bench's knob.rs; H1 registry dependencies; P1 panic-site
 budget (ratcheted via analyze-baseline.toml); P2 allocation (.clone()/Vec::new/
-.collect()) in hot-marked kernel functions; U1 missing #![forbid(unsafe_code)];
+.collect()) in hot-marked kernel functions; S1 wall-clock/env reads inside
+Snapshot impls (any crate); U1 missing #![forbid(unsafe_code)];
 A0 malformed suppression; B1 stale baseline entry.";
 
 fn main() -> ExitCode {

@@ -27,6 +27,12 @@
 //!   line directly above) is a per-cycle simulation path; `.clone()`,
 //!   `Vec::new` and `.collect()` inside its body are flagged — reuse a
 //!   scratch buffer or an index instead.
+//! * **S1** — no wall-clock or environment reads (`Instant`,
+//!   `SystemTime`, `std::time`, `env::var*`) inside a `Snapshot` impl —
+//!   in **any** crate, including the ones D2/D3 exempt. Checkpoint
+//!   save/restore must be a pure function of machine state; a hidden
+//!   input there makes images nonreproducible and silently breaks the
+//!   restore-equals-continuous guarantee.
 //! * **U1** — every crate's `src/lib.rs` must carry
 //!   `#![forbid(unsafe_code)]`.
 //! * **A0** — a suppression comment without a reason is itself a
@@ -75,6 +81,8 @@ pub enum RuleId {
     P1,
     /// Allocation in a hot-marked kernel function.
     P2,
+    /// Wall-clock or environment read inside a `Snapshot` impl.
+    S1,
     /// Missing `#![forbid(unsafe_code)]` in a crate root.
     U1,
     /// Malformed suppression comment.
@@ -92,6 +100,7 @@ impl std::fmt::Display for RuleId {
             RuleId::H1 => "H1",
             RuleId::P1 => "P1",
             RuleId::P2 => "P2",
+            RuleId::S1 => "S1",
             RuleId::U1 => "U1",
             RuleId::A0 => "A0",
             RuleId::B1 => "B1",
@@ -108,6 +117,7 @@ impl RuleId {
             "H1" => Some(RuleId::H1),
             "P1" => Some(RuleId::P1),
             "P2" => Some(RuleId::P2),
+            "S1" => Some(RuleId::S1),
             "U1" => Some(RuleId::U1),
             "A0" => Some(RuleId::A0),
             "B1" => Some(RuleId::B1),
@@ -385,6 +395,75 @@ fn hot_mask(toks: &[Token<'_>], hot_lines: &[u32]) -> Vec<bool> {
     mask
 }
 
+/// Marks token ranges inside `Snapshot` trait impls: an `impl` whose
+/// header names `Snapshot for` (path-qualified or not, generics and
+/// where-clauses included) is covered from the `impl` keyword through the
+/// matching `}` of its body. Tokens inside are subject to S1. A
+/// where-clause *bound* on `Snapshot` does not mark an impl — the trait
+/// name must be immediately followed by `for`.
+fn snapshot_mask(toks: &[Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut ci = 0usize;
+    while ci < code.len() {
+        let t = &toks[code[ci]];
+        if !(t.kind == TokKind::Ident && t.text == "impl") {
+            ci += 1;
+            continue;
+        }
+        // Walk the impl header (no braces occur before the body's `{`).
+        let mut is_snapshot = false;
+        let mut cj = ci + 1;
+        while cj < code.len() {
+            let tj = &toks[code[cj]];
+            if tj.kind == TokKind::Punct && tj.text == "{" {
+                break;
+            }
+            if tj.kind == TokKind::Ident && tj.text == "Snapshot" {
+                if let Some(&ni) = code.get(cj + 1) {
+                    let tn = &toks[ni];
+                    if tn.kind == TokKind::Ident && tn.text == "for" {
+                        is_snapshot = true;
+                    }
+                }
+            }
+            cj += 1;
+        }
+        if !is_snapshot {
+            ci = cj + 1;
+            continue;
+        }
+        // Cover from `impl` to the matching `}` of the body.
+        let mut depth = 0usize;
+        let mut end = code.len();
+        let mut ck = cj;
+        while ck < code.len() {
+            let tk = &toks[code[ck]];
+            if tk.kind == TokKind::Punct {
+                match tk.text {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            end = ck + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            ck += 1;
+        }
+        for &ti in &code[ci..end.min(code.len())] {
+            mask[ti] = true;
+        }
+        ci = end;
+    }
+    mask
+}
+
 /// Scans one source file under every source-level rule.
 ///
 /// `crate_name` is the directory name under `crates/` (e.g. `core`);
@@ -398,6 +477,7 @@ pub fn scan_source(crate_name: &str, file: &str, src: &str, count_panics: bool) 
     let (sups, hot_lines) = collect_suppressions(file, &toks, &mut report.diags);
     let mask = test_mask(&toks);
     let hotm = hot_mask(&toks, &hot_lines);
+    let snapm = snapshot_mask(&toks);
 
     let sim = SIM_CRATES.contains(&crate_name);
     let time_allowed = TIME_ALLOWED_CRATES.contains(&crate_name);
@@ -407,12 +487,14 @@ pub fn scan_source(crate_name: &str, file: &str, src: &str, count_panics: bool) 
     // per-token hot flag for P2.
     let mut code: Vec<&Token<'_>> = Vec::new();
     let mut hot: Vec<bool> = Vec::new();
+    let mut snap: Vec<bool> = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         if mask[i] || matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
             continue;
         }
         code.push(t);
         hot.push(hotm[i]);
+        snap.push(snapm[i]);
     }
 
     let ident =
@@ -442,51 +524,70 @@ pub fn scan_source(crate_name: &str, file: &str, src: &str, count_panics: bool) 
                     t.text
                 ),
             ),
-            "Instant" | "SystemTime" if !time_allowed => push(
-                &mut report,
-                RuleId::D2,
-                t.line,
-                format!(
-                    "{} in crate `{crate_name}`: wall-clock reads are hidden inputs; \
-                     only crates/bench and crates/devtest may time things",
-                    t.text
-                ),
-            ),
+            "Instant" | "SystemTime" if snap[i] || !time_allowed => {
+                if snap[i] {
+                    push(&mut report, RuleId::S1, t.line, s1_message(t.text));
+                } else {
+                    push(
+                        &mut report,
+                        RuleId::D2,
+                        t.line,
+                        format!(
+                            "{} in crate `{crate_name}`: wall-clock reads are hidden inputs; \
+                             only crates/bench and crates/devtest may time things",
+                            t.text
+                        ),
+                    );
+                }
+            }
             "std"
-                if !time_allowed
+                if (snap[i] || !time_allowed)
                     && punct(i + 1, ":")
                     && punct(i + 2, ":")
                     && ident(i + 3, "time") =>
             {
-                push(
-                    &mut report,
-                    RuleId::D2,
-                    t.line,
-                    format!(
-                        "std::time in crate `{crate_name}`: wall-clock reads are hidden inputs; \
-                         only crates/bench and crates/devtest may time things"
-                    ),
-                );
+                if snap[i] {
+                    push(&mut report, RuleId::S1, t.line, s1_message("std::time"));
+                } else {
+                    push(
+                        &mut report,
+                        RuleId::D2,
+                        t.line,
+                        format!(
+                            "std::time in crate `{crate_name}`: wall-clock reads are hidden \
+                             inputs; only crates/bench and crates/devtest may time things"
+                        ),
+                    );
+                }
             }
             "env"
-                if !env_allowed
+                if (snap[i] || !env_allowed)
                     && punct(i + 1, ":")
                     && punct(i + 2, ":")
                     && code
                         .get(i + 3)
                         .is_some_and(|t| t.kind == TokKind::Ident && t.text.starts_with("var")) =>
             {
-                push(
-                    &mut report,
-                    RuleId::D3,
-                    t.line,
-                    format!(
-                        "env::{} outside {ENV_ALLOWED_FILE}: every CHAINIQ_* knob must go \
-                         through the central knob module so typos warn instead of silently \
-                         changing the experiment",
-                        code[i + 3].text
-                    ),
-                );
+                if snap[i] {
+                    push(
+                        &mut report,
+                        RuleId::S1,
+                        t.line,
+                        s1_message(&format!("env::{}", code[i + 3].text)),
+                    );
+                } else {
+                    push(
+                        &mut report,
+                        RuleId::D3,
+                        t.line,
+                        format!(
+                            "env::{} outside {ENV_ALLOWED_FILE}: every CHAINIQ_* knob must go \
+                             through the central knob module so typos warn instead of silently \
+                             changing the experiment",
+                            code[i + 3].text
+                        ),
+                    );
+                }
             }
             "unwrap" | "expect"
                 if count_panics
@@ -542,6 +643,15 @@ pub fn scan_source(crate_name: &str, file: &str, src: &str, count_panics: bool) 
     }
 
     report
+}
+
+/// The S1 diagnostic text for one offending read.
+fn s1_message(what: &str) -> String {
+    format!(
+        "{what} inside a Snapshot impl: checkpoint save/restore must be a pure function of \
+         machine state — a wall-clock or environment read here makes images nonreproducible \
+         and breaks restore-equals-continuous"
+    )
 }
 
 /// `foo.panic!` cannot occur in Rust, but be conservative about strange
@@ -870,6 +980,93 @@ mod tests {
              }",
         );
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    // ---- S1 ----
+
+    #[test]
+    fn s1_flags_wall_clock_in_snapshot_impl_even_in_exempt_crates() {
+        // Crate `bench` is D2-exempt; S1 applies regardless.
+        let d = diags_of(
+            "bench",
+            "crates/bench/src/x.rs",
+            "impl chainiq_ckpt::Snapshot for Thing {\n\
+             fn save(&self, w: &mut Writer) { let _t = Instant::now(); }\n\
+             }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RuleId::S1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn s1_flags_env_read_in_snapshot_impl_even_in_knob_rs() {
+        let d = diags_of(
+            "bench",
+            ENV_ALLOWED_FILE,
+            "impl Snapshot for Thing {\n\
+             fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), CkptError> {\n\
+             let _ = std::env::var(\"HOME\");\nOk(())\n}\n}",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RuleId::S1);
+    }
+
+    #[test]
+    fn s1_flags_std_time_path_in_generic_snapshot_impl() {
+        let d = diags_of(
+            "cpu",
+            "crates/cpu/src/x.rs",
+            "impl<Q, W> chainiq_ckpt::Snapshot for Pipeline<Q, W>\n\
+             where\n    Q: IssueQueue + chainiq_ckpt::Snapshot,\n    W: Iterator,\n{\n\
+             fn save(&self, w: &mut Writer) { let _d = std::time::Duration::ZERO; }\n\
+             }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RuleId::S1, "S1 takes precedence over D2 inside the impl");
+    }
+
+    #[test]
+    fn s1_does_not_mark_snapshot_bounds_or_other_impls() {
+        // A `Snapshot` *bound* is not a `Snapshot` impl; the D2 exemption
+        // for bench still applies outside snapshot impls.
+        let d = diags_of(
+            "bench",
+            "crates/bench/src/x.rs",
+            "impl<Q: Snapshot> Runner<Q> {\n\
+             fn time(&self) { let _t = Instant::now(); }\n\
+             }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn s1_outside_exempt_crates_still_reports_d2_not_both() {
+        let d = diags_of(
+            "cpu",
+            "crates/cpu/src/x.rs",
+            "impl Snapshot for Thing { fn save(&self) { let _t = Instant::now(); } }\n\
+             fn elsewhere() { let _t = Instant::now(); }",
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].rule, RuleId::S1, "inside the impl: S1");
+        assert_eq!(d[1].rule, RuleId::D2, "outside the impl: plain D2");
+    }
+
+    #[test]
+    fn s1_suppressed_with_reason_passes() {
+        let d = diags_of(
+            "bench",
+            "crates/bench/src/x.rs",
+            "impl Snapshot for Thing {\n\
+             // chainiq-analyze: allow(S1, stderr diagnostic, never packed into the image)\n\
+             fn save(&self) { let _t = Instant::now(); }\n\
+             fn other(&self) { let _t = Instant::now(); }\n\
+             }",
+        );
+        assert_eq!(d.len(), 1, "only the unsuppressed read reports: {d:?}");
+        assert_eq!(d[0].rule, RuleId::S1);
+        assert_eq!(d[0].line, 4);
     }
 
     // ---- U1 ----

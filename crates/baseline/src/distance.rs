@@ -311,6 +311,110 @@ impl DistanceIq {
     }
 }
 
+impl chainiq_ckpt::Pack for DistanceConfig {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.wait_buffer_size.pack(w);
+        self.num_lines.pack(w);
+        self.line_width.pack(w);
+        self.predicted_load_latency.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(DistanceConfig {
+            wait_buffer_size: Pack::unpack(r)?,
+            num_lines: Pack::unpack(r)?,
+            line_width: Pack::unpack(r)?,
+            predicted_load_latency: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Pack for DataOperand {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.producer.pack(w);
+        self.ready_at.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(DataOperand { producer: Pack::unpack(r)?, ready_at: Pack::unpack(r)? })
+    }
+}
+
+impl chainiq_ckpt::Pack for Entry {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.tag.pack(w);
+        self.op.pack(w);
+        self.ops.pack(w);
+        self.scheduled_at.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(Entry {
+            tag: Pack::unpack(r)?,
+            op: Pack::unpack(r)?,
+            ops: Pack::unpack(r)?,
+            scheduled_at: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Snapshot for DistanceIq {
+    const COMPONENT: &'static str = "baseline.distance";
+    const VERSION: u16 = 1;
+
+    fn save(&self, w: &mut chainiq_ckpt::Writer) {
+        use chainiq_ckpt::Pack;
+        self.config.pack(w);
+        self.entries.pack(w);
+        self.row_counts.pack(w);
+        self.reg_ready.pack(w);
+        self.stats.pack(w);
+        self.wait_buffer_stalls.pack(w);
+    }
+
+    fn restore(&mut self, r: &mut chainiq_ckpt::Reader<'_>) -> Result<(), chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let corrupt =
+            |context: &str| chainiq_ckpt::CkptError::Corrupt { context: context.to_string() };
+        let config: DistanceConfig = Pack::unpack(r)?;
+        if config != self.config {
+            return Err(corrupt("distance IQ config differs from the running queue"));
+        }
+        let entries: Vec<Entry> = Pack::unpack(r)?;
+        let row_counts: BTreeMap<Cycle, u32> = Pack::unpack(r)?;
+        let reg_ready: Vec<Option<Cycle>> = Pack::unpack(r)?;
+        let stats: IqStats = Pack::unpack(r)?;
+        let wait_buffer_stalls: u64 = Pack::unpack(r)?;
+        if entries.len() > config.capacity() {
+            return Err(corrupt("distance IQ occupancy exceeds its capacity"));
+        }
+        if reg_ready.len() != NUM_ARCH_REGS {
+            return Err(corrupt("distance IQ register timing table has the wrong shape"));
+        }
+        // Row counters must track the scheduled entries exactly (a row
+        // drained to zero may linger until the next tick prunes it).
+        let mut recomputed: BTreeMap<Cycle, u32> = BTreeMap::new();
+        for e in &entries {
+            if let Some(row) = e.scheduled_at {
+                *recomputed.entry(row).or_default() += 1;
+            }
+        }
+        let rows_consistent = row_counts.iter().all(|(row, &n)| {
+            let expect = recomputed.get(row).copied().unwrap_or(0);
+            n == expect
+        }) && recomputed.keys().all(|row| row_counts.contains_key(row));
+        if !rows_consistent {
+            return Err(corrupt("distance IQ row counters disagree with its entries"));
+        }
+        self.entries = entries;
+        self.row_counts = row_counts;
+        self.reg_ready = reg_ready;
+        self.stats = stats;
+        self.wait_buffer_stalls = wait_buffer_stalls;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -126,6 +126,65 @@ impl IssueQueue for IdealIq {
     }
 }
 
+impl chainiq_ckpt::Pack for DataOperand {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.producer.pack(w);
+        self.ready_at.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(DataOperand { producer: Pack::unpack(r)?, ready_at: Pack::unpack(r)? })
+    }
+}
+
+impl chainiq_ckpt::Pack for Entry {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.tag.pack(w);
+        self.op.pack(w);
+        self.ops.pack(w);
+        self.entered_at.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(Entry {
+            tag: Pack::unpack(r)?,
+            op: Pack::unpack(r)?,
+            ops: Pack::unpack(r)?,
+            entered_at: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Snapshot for IdealIq {
+    const COMPONENT: &'static str = "baseline.ideal";
+    const VERSION: u16 = 1;
+
+    fn save(&self, w: &mut chainiq_ckpt::Writer) {
+        use chainiq_ckpt::Pack;
+        self.capacity.pack(w);
+        self.entries.pack(w);
+        self.stats.pack(w);
+    }
+
+    fn restore(&mut self, r: &mut chainiq_ckpt::Reader<'_>) -> Result<(), chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let corrupt =
+            |context: &str| chainiq_ckpt::CkptError::Corrupt { context: context.to_string() };
+        let capacity: usize = Pack::unpack(r)?;
+        if capacity != self.capacity {
+            return Err(corrupt("ideal IQ capacity differs from the running queue"));
+        }
+        let entries: Vec<Entry> = Pack::unpack(r)?;
+        if entries.len() > capacity {
+            return Err(corrupt("ideal IQ occupancy exceeds its capacity"));
+        }
+        let stats: IqStats = Pack::unpack(r)?;
+        self.entries = entries;
+        self.stats = stats;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

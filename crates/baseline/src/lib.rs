@@ -40,6 +40,8 @@
 mod distance;
 mod ideal;
 mod preschedule;
+#[cfg(test)]
+mod testutil;
 
 pub use distance::{DistanceConfig, DistanceIq};
 pub use ideal::IdealIq;

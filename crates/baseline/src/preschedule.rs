@@ -372,6 +372,155 @@ impl IssueQueue for PrescheduledIq {
     }
 }
 
+impl chainiq_ckpt::Pack for PrescheduleConfig {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.issue_buffer_size.pack(w);
+        self.num_lines.pack(w);
+        self.line_width.pack(w);
+        self.predicted_load_latency.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(PrescheduleConfig {
+            issue_buffer_size: Pack::unpack(r)?,
+            num_lines: Pack::unpack(r)?,
+            line_width: Pack::unpack(r)?,
+            predicted_load_latency: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Pack for DataOperand {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.producer.pack(w);
+        self.ready_at.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(DataOperand { producer: Pack::unpack(r)?, ready_at: Pack::unpack(r)? })
+    }
+}
+
+impl chainiq_ckpt::Pack for Entry {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.op.pack(w);
+        self.ops.pack(w);
+        self.scheduled_at.pack(w);
+        self.entered_buffer_at.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(Entry {
+            op: Pack::unpack(r)?,
+            ops: Pack::unpack(r)?,
+            scheduled_at: Pack::unpack(r)?,
+            entered_buffer_at: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Snapshot for PrescheduledIq {
+    const COMPONENT: &'static str = "baseline.preschedule";
+    const VERSION: u16 = 1;
+
+    /// The scratch buffers are transient (cleared before every use) and
+    /// are therefore not serialized; restore leaves them empty.
+    fn save(&self, w: &mut chainiq_ckpt::Writer) {
+        use chainiq_ckpt::Pack;
+        self.config.pack(w);
+        self.entries.pack(w);
+        self.array.pack(w);
+        self.buffer.pack(w);
+        self.waiters.pack(w);
+        self.row_counts.pack(w);
+        self.reg_ready.pack(w);
+        self.stats.pack(w);
+        self.shift_stalls.pack(w);
+        self.recirculations.pack(w);
+    }
+
+    fn restore(&mut self, r: &mut chainiq_ckpt::Reader<'_>) -> Result<(), chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let corrupt =
+            |context: &str| chainiq_ckpt::CkptError::Corrupt { context: context.to_string() };
+        let config: PrescheduleConfig = Pack::unpack(r)?;
+        if config != self.config {
+            return Err(corrupt("prescheduled IQ config differs from the running queue"));
+        }
+        let entries: BTreeMap<InstTag, Entry> = Pack::unpack(r)?;
+        let array: BTreeSet<(Cycle, InstTag)> = Pack::unpack(r)?;
+        let buffer: BTreeSet<InstTag> = Pack::unpack(r)?;
+        let waiters: BTreeSet<(InstTag, InstTag)> = Pack::unpack(r)?;
+        let row_counts: BTreeMap<Cycle, u32> = Pack::unpack(r)?;
+        let reg_ready: Vec<Cycle> = Pack::unpack(r)?;
+        let stats: IqStats = Pack::unpack(r)?;
+        let shift_stalls: u64 = Pack::unpack(r)?;
+        let recirculations: u64 = Pack::unpack(r)?;
+        if entries.len() > config.capacity() {
+            return Err(corrupt("prescheduled IQ occupancy exceeds its capacity"));
+        }
+        if reg_ready.len() != NUM_ARCH_REGS {
+            return Err(corrupt("prescheduled IQ register timing table has the wrong shape"));
+        }
+        if buffer.len() > config.issue_buffer_size {
+            return Err(corrupt("prescheduled IQ issue buffer overflows its size"));
+        }
+        // Every entry lives in exactly one of the two indexes: the array
+        // (keyed by its scheduled row) or the issue buffer.
+        if array.len() + buffer.len() != entries.len() {
+            return Err(corrupt("prescheduled IQ indexes disagree with its entries"));
+        }
+        let array_consistent = array.iter().all(|&(sched, tag)| {
+            entries
+                .get(&tag)
+                .map(|e| e.scheduled_at == sched && e.entered_buffer_at == Cycle::MAX)
+                .unwrap_or(false)
+        });
+        if !array_consistent {
+            return Err(corrupt("prescheduled IQ array index points at a missing entry"));
+        }
+        let buffer_consistent = buffer.iter().all(|tag| {
+            entries.get(tag).map(|e| e.entered_buffer_at != Cycle::MAX).unwrap_or(false)
+        });
+        if !buffer_consistent {
+            return Err(corrupt("prescheduled IQ buffer index points at a missing entry"));
+        }
+        let waiters_consistent = waiters.iter().all(|&(producer, consumer)| {
+            entries
+                .get(&consumer)
+                .map(|e| e.ops.iter().flatten().any(|o| o.producer == producer))
+                .unwrap_or(false)
+        });
+        if !waiters_consistent {
+            return Err(corrupt("prescheduled IQ wakeup subscriptions disagree with its entries"));
+        }
+        // Row counters must track the array residents exactly (a row
+        // drained to zero may linger until the next tick prunes it).
+        let mut recomputed: BTreeMap<Cycle, u32> = BTreeMap::new();
+        for &(sched, _) in &array {
+            *recomputed.entry(sched).or_default() += 1;
+        }
+        let rows_consistent =
+            row_counts.iter().all(|(row, &n)| n == recomputed.get(row).copied().unwrap_or(0))
+                && recomputed.keys().all(|row| row_counts.contains_key(row));
+        if !rows_consistent {
+            return Err(corrupt("prescheduled IQ row counters disagree with its array"));
+        }
+        self.entries = entries;
+        self.array = array;
+        self.buffer = buffer;
+        self.waiters = waiters;
+        self.row_counts = row_counts;
+        self.reg_ready = reg_ready;
+        self.stats = stats;
+        self.shift_stalls = shift_stalls;
+        self.recirculations = recirculations;
+        self.scratch.clear();
+        self.scratch_tags.clear();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

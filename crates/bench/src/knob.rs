@@ -41,6 +41,40 @@ pub fn bench_dir() -> Option<std::path::PathBuf> {
     std::env::var_os("CHAINIQ_BENCH_DIR").map(std::path::PathBuf::from)
 }
 
+/// Checkpoint-cache switch: `CHAINIQ_CKPT`. Accepts `1`/`true`/`on` and
+/// `0`/`false`/`off`; anything else warns on stderr and keeps the
+/// default (**off**, so plain runs never touch a cache directory and
+/// behave exactly as before the cache existed).
+#[must_use]
+pub fn ckpt_enabled() -> bool {
+    match std::env::var("CHAINIQ_CKPT") {
+        Ok(raw) => match raw.trim() {
+            "1" | "true" | "on" => true,
+            "" | "0" | "false" | "off" => false,
+            _ => {
+                eprintln!("warning: CHAINIQ_CKPT={raw:?} is not a valid value; using default off");
+                false
+            }
+        },
+        Err(std::env::VarError::NotPresent) => false,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            eprintln!("warning: CHAINIQ_CKPT={raw:?} is not UTF-8; using default off");
+            false
+        }
+    }
+}
+
+/// Checkpoint-cache directory: `CHAINIQ_CKPT_DIR` when set, otherwise
+/// `ckpt-cache/` inside the runtime-resolved results directory (so
+/// cached warmup prefixes live beside the artifacts they accelerate).
+/// Any non-empty path is valid, so there is nothing to warn on.
+#[must_use]
+pub fn ckpt_dir() -> std::path::PathBuf {
+    std::env::var_os("CHAINIQ_CKPT_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| crate::runner::results_dir().join("ckpt-cache"))
+}
+
 /// Worker-thread count for the sweep executor: `CHAINIQ_JOBS`, defaulting
 /// to [`std::thread::available_parallelism`]. `CHAINIQ_JOBS=0` is
 /// rejected (with a warning) the same way a non-numeric value is.
@@ -87,5 +121,14 @@ mod tests {
     #[test]
     fn jobs_is_positive() {
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn ckpt_dir_honors_override() {
+        // Only this test touches CHAINIQ_CKPT_DIR, so no cross-test race.
+        std::env::set_var("CHAINIQ_CKPT_DIR", "/tmp/chainiq-knob-test-cache");
+        assert_eq!(ckpt_dir(), std::path::PathBuf::from("/tmp/chainiq-knob-test-cache"));
+        std::env::remove_var("CHAINIQ_CKPT_DIR");
+        assert!(ckpt_dir().ends_with("ckpt-cache"), "default must be the results-side cache");
     }
 }

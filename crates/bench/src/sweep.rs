@@ -10,9 +10,10 @@
 //! (completed/total, elapsed, spec label) is reported on stderr, keeping
 //! stdout reserved for the artifact tables.
 
+use std::path::Path;
 use std::time::Instant;
 
-use chainiq::{Bench, IqKind, RunResult};
+use chainiq::{Bench, CkptOutcome, CkptPlan, IqKind, RunResult};
 
 use crate::{knob, pool, PredictorConfig, DEFAULT_SEED};
 
@@ -48,13 +49,26 @@ impl RunSpec {
     /// Executes this spec (serially, on the calling thread).
     #[must_use]
     pub fn execute(&self) -> RunResult {
-        chainiq::run_one(
+        self.execute_cached(None).0
+    }
+
+    /// Executes this spec through the checkpoint cache rooted at `cache`
+    /// (`None` for a plain cold run). The warmup prefix is half the
+    /// sample, so grid points sharing a (workload, configuration) pair —
+    /// re-runs, CI double-runs, overlapping figures — skip half their
+    /// simulation on a hit. Results are identical either way; see
+    /// [`chainiq::run_one_ckpt`].
+    #[must_use]
+    pub fn execute_cached(&self, cache: Option<&Path>) -> (RunResult, CkptOutcome) {
+        let plan = cache.map(|dir| CkptPlan { dir: dir.to_path_buf(), warmup: self.sample / 2 });
+        chainiq::run_one_ckpt(
             self.bench.profile(),
             self.iq,
             self.pred.hmp(),
             self.pred.lrp(),
             self.sample,
             self.seed,
+            plan.as_ref(),
         )
     }
 
@@ -130,7 +144,9 @@ impl Sweep {
     }
 
     /// Executes the sweep on `CHAINIQ_JOBS` workers (default: hardware
-    /// parallelism) and returns results in submission order.
+    /// parallelism) and returns results in submission order. The
+    /// checkpoint cache is consulted when `CHAINIQ_CKPT` enables it,
+    /// rooted at the `CHAINIQ_CKPT_DIR` directory.
     #[must_use]
     pub fn run(self) -> Vec<RunResult> {
         let jobs = knob::jobs();
@@ -139,15 +155,29 @@ impl Sweep {
 
     /// Executes the sweep on an explicit worker count (bypassing the
     /// `CHAINIQ_JOBS` knob — used by tests and callers that know better).
+    /// The checkpoint cache still follows the environment knobs.
     #[must_use]
     pub fn run_with_jobs(self, jobs: usize) -> Vec<RunResult> {
+        let cache = knob::ckpt_enabled().then(knob::ckpt_dir);
+        self.run_with_jobs_cached(jobs, cache.as_deref()).0
+    }
+
+    /// Executes the sweep with an explicit worker count and cache root
+    /// (`None` disables the cache regardless of the environment),
+    /// returning results in submission order plus the cache accounting.
+    #[must_use]
+    pub fn run_with_jobs_cached(
+        self,
+        jobs: usize,
+        cache: Option<&Path>,
+    ) -> (Vec<RunResult>, CkptTally) {
         let total = self.specs.len();
         let t0 = Instant::now();
         let mut done = 0usize;
-        let results = pool::run_indexed(
+        let outcomes = pool::run_indexed(
             &self.specs,
             jobs,
-            |_, spec| spec.execute(),
+            |_, spec| spec.execute_cached(cache),
             |i, _| {
                 done += 1;
                 eprintln!(
@@ -163,7 +193,67 @@ impl Sweep {
             jobs.max(1),
             if jobs == 1 { "" } else { "s" }
         );
-        results
+        let mut tally = CkptTally::default();
+        let mut results = Vec::with_capacity(outcomes.len());
+        for (result, outcome) in outcomes {
+            tally.count(outcome);
+            results.push(result);
+        }
+        if let Some(dir) = cache {
+            eprintln!("ckpt cache: {tally} ({})", dir.display());
+        }
+        (results, tally)
+    }
+}
+
+/// Per-sweep checkpoint-cache accounting, reported on stderr so stdout
+/// stays byte-identical whether the cache hit, missed, or was off.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CkptTally {
+    /// Runs that restored a cached warmup prefix.
+    pub hits: usize,
+    /// Runs that simulated cold and saved an image.
+    pub misses: usize,
+    /// Runs that found a stale or corrupt image, discarded it, and
+    /// restarted cold.
+    pub rejected: usize,
+    /// Cold runs whose image could not be written (cache unusable).
+    pub save_failures: usize,
+    /// Runs the cache did not apply to (no plan, or a degenerate warmup).
+    pub disabled: usize,
+}
+
+impl CkptTally {
+    fn count(&mut self, outcome: CkptOutcome) {
+        match outcome {
+            CkptOutcome::Hit => self.hits += 1,
+            CkptOutcome::MissSaved => self.misses += 1,
+            CkptOutcome::Rejected => self.rejected += 1,
+            CkptOutcome::MissSaveFailed => self.save_failures += 1,
+            CkptOutcome::Disabled => self.disabled += 1,
+        }
+    }
+
+    /// Total runs accounted for.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.hits + self.misses + self.rejected + self.save_failures + self.disabled
+    }
+}
+
+impl std::fmt::Display for CkptTally {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} hits, {} misses", self.hits, self.misses)?;
+        if self.rejected > 0 {
+            write!(f, ", {} rejected", self.rejected)?;
+        }
+        if self.save_failures > 0 {
+            write!(f, ", {} save failures", self.save_failures)?;
+        }
+        if self.disabled > 0 {
+            write!(f, ", {} uncached", self.disabled)?;
+        }
+        Ok(())
     }
 }
 
@@ -224,5 +314,113 @@ mod tests {
         let spec = RunSpec::new(Bench::Swim, ideal(32), PredictorConfig::Base, 1000);
         assert_eq!(spec.seed, DEFAULT_SEED);
         assert_eq!(spec.with_seed(7).seed, 7);
+    }
+
+    /// A scratch cache directory, removed on drop.
+    struct ScratchCache(std::path::PathBuf);
+
+    impl ScratchCache {
+        fn new(name: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("chainiq-sweep-ckpt-{}-{name}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            ScratchCache(dir)
+        }
+    }
+
+    impl Drop for ScratchCache {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn small_grid() -> Sweep {
+        let mut s = Sweep::new();
+        s.add(Bench::Swim, ideal(32), PredictorConfig::Base, 1_500);
+        s.add(Bench::Gcc, segmented(64, Some(64)), PredictorConfig::Comb, 1_500);
+        s.add(Bench::Twolf, ideal(64), PredictorConfig::Base, 1_500);
+        s
+    }
+
+    fn digest(results: &[chainiq::RunResult]) -> String {
+        results.iter().map(|r| format!("{:?} {:?}\n", r.stats, r.segmented)).collect()
+    }
+
+    #[test]
+    fn cache_accounting_miss_then_hit() {
+        let scratch = ScratchCache::new("accounting");
+        let (cold, t0) = small_grid().run_with_jobs_cached(1, None);
+        assert_eq!(t0, CkptTally { disabled: 3, ..CkptTally::default() });
+
+        let (first, t1) = small_grid().run_with_jobs_cached(1, Some(&scratch.0));
+        assert_eq!(t1, CkptTally { misses: 3, ..CkptTally::default() });
+        assert_eq!(digest(&first), digest(&cold), "miss pass must match the uncached sweep");
+
+        let (second, t2) = small_grid().run_with_jobs_cached(1, Some(&scratch.0));
+        assert_eq!(t2, CkptTally { hits: 3, ..CkptTally::default() });
+        assert_eq!(digest(&second), digest(&cold), "hit pass must match the uncached sweep");
+        assert_eq!(t2.total(), 3);
+    }
+
+    /// Specs differing only in a configuration prefix — predictor hooks,
+    /// queue geometry, or sample length — must never share a cache entry.
+    #[test]
+    fn cache_keys_separate_config_prefixes() {
+        let scratch = ScratchCache::new("key-collision");
+        let base = RunSpec::new(Bench::Swim, segmented(64, Some(64)), PredictorConfig::Base, 1_500);
+        let variants = [
+            base,
+            RunSpec::new(Bench::Swim, segmented(64, Some(64)), PredictorConfig::Comb, 1_500),
+            RunSpec::new(Bench::Swim, segmented(128, Some(64)), PredictorConfig::Base, 1_500),
+            RunSpec::new(Bench::Swim, segmented(64, Some(64)), PredictorConfig::Base, 2_000),
+        ];
+        let mut sweep = Sweep::new();
+        for v in variants {
+            sweep.push(v);
+        }
+        let (_, tally) = sweep.run_with_jobs_cached(1, Some(&scratch.0));
+        assert_eq!(
+            tally,
+            CkptTally { misses: 4, ..CkptTally::default() },
+            "every config-prefix variant must get its own cache entry"
+        );
+        let entries = std::fs::read_dir(&scratch.0).unwrap().count();
+        assert_eq!(entries, 4, "four distinct keys, four image files");
+    }
+
+    /// Concurrent workers sharing one cache directory: the atomic-write
+    /// protocol must keep every reader seeing either a whole image or
+    /// none, and results must stay byte-identical to a serial cold sweep.
+    #[test]
+    fn cache_is_safe_under_concurrent_workers() {
+        let scratch = ScratchCache::new("concurrent");
+        // Duplicate key coverage: pairs of specs share a cache entry, so
+        // workers race to write and then to read the same files.
+        let mut grid = Sweep::new();
+        for _ in 0..2 {
+            for spec in small_grid().specs() {
+                grid.push(*spec);
+            }
+        }
+        let serial = small_grid().run_with_jobs_cached(1, None).0;
+
+        let (warm, t1) = {
+            let mut g = Sweep::new();
+            for spec in grid.specs() {
+                g.push(*spec);
+            }
+            g.run_with_jobs_cached(4, Some(&scratch.0))
+        };
+        assert_eq!(t1.total(), 6);
+        assert_eq!(t1.rejected, 0, "an atomic cache must never serve a torn image");
+        assert_eq!(t1.save_failures, 0);
+
+        let (hot, t2) = grid.run_with_jobs_cached(4, Some(&scratch.0));
+        assert_eq!(t2, CkptTally { hits: 6, ..CkptTally::default() });
+
+        for results in [&warm, &hot] {
+            assert_eq!(digest(&results[..3]), digest(&serial));
+            assert_eq!(digest(&results[3..]), digest(&serial));
+        }
     }
 }

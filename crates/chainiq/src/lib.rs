@@ -23,6 +23,9 @@
 //!   clock-speed argument ([`Technology`], [`QueueGeometry`]).
 //! * [`power`] — event-based dynamic-energy accounting for the §7
 //!   power question ([`EnergyModel`]).
+//! * [`ckpt`] — versioned, fingerprinted snapshot/restore of full
+//!   machine state, powering the checkpoint-cached experiment path
+//!   ([`run_one_ckpt`]).
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@
 
 pub use chainiq_baseline as baseline;
 pub use chainiq_circuit as circuit;
+pub use chainiq_ckpt as ckpt;
 pub use chainiq_core as core;
 pub use chainiq_cpu as cpu;
 pub use chainiq_isa as isa;
@@ -60,7 +64,10 @@ pub use chainiq_core::{
     DispatchInfo, DispatchStall, FuPool, InstTag, IssueQueue, SegmentedIq, SegmentedIqConfig,
     SegmentedStats, SrcOperand,
 };
-pub use chainiq_cpu::{run_one, IqKind, Pipeline, RunResult, SimConfig, SimStats, SmtPipeline};
+pub use chainiq_cpu::{
+    run_one, run_one_ckpt, CkptOutcome, CkptPlan, IqKind, Pipeline, RunResult, SimConfig, SimStats,
+    SmtPipeline,
+};
 pub use chainiq_isa::{ArchReg, Cycle, Inst, OpClass};
 pub use chainiq_mem::{Hierarchy, MemConfig};
 pub use chainiq_power::{EnergyBreakdown, EnergyModel};

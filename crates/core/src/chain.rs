@@ -216,6 +216,128 @@ impl ChainTable {
     }
 }
 
+impl chainiq_ckpt::Pack for ChainRef {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.id.pack(w);
+        self.gen.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(ChainRef { id: Pack::unpack(r)?, gen: Pack::unpack(r)? })
+    }
+}
+
+impl chainiq_ckpt::Pack for SignalKind {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        w.put_u8(match self {
+            SignalKind::Pulse => 0,
+            SignalKind::Suspend => 1,
+            SignalKind::Resume => 2,
+        });
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        match r.take_u8("wire-signal kind")? {
+            0 => Ok(SignalKind::Pulse),
+            1 => Ok(SignalKind::Suspend),
+            2 => Ok(SignalKind::Resume),
+            t => Err(chainiq_ckpt::CkptError::Corrupt {
+                context: format!("wire-signal kind tag {t}"),
+            }),
+        }
+    }
+}
+
+impl chainiq_ckpt::Pack for WireSignal {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.chain.pack(w);
+        self.kind.pack(w);
+        self.segment.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(WireSignal {
+            chain: Pack::unpack(r)?,
+            kind: Pack::unpack(r)?,
+            segment: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Pack for ChainStats {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.allocations.pack(w);
+        self.load_heads.pack(w);
+        self.dual_dep_heads.pack(w);
+        self.live_accum.pack(w);
+        self.cycles.pack(w);
+        self.peak_live.pack(w);
+        self.wire_stalls.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(ChainStats {
+            allocations: Pack::unpack(r)?,
+            load_heads: Pack::unpack(r)?,
+            dual_dep_heads: Pack::unpack(r)?,
+            live_accum: Pack::unpack(r)?,
+            cycles: Pack::unpack(r)?,
+            peak_live: Pack::unpack(r)?,
+            wire_stalls: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Pack for ChainSlot {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.gen.pack(w);
+        self.head.pack(w);
+        self.live.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(ChainSlot { gen: Pack::unpack(r)?, head: Pack::unpack(r)?, live: Pack::unpack(r)? })
+    }
+}
+
+impl chainiq_ckpt::Pack for ChainTable {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.slots.pack(w);
+        self.free.pack(w);
+        self.by_head.pack(w);
+        self.limit.pack(w);
+        self.live.pack(w);
+        self.stats.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let slots: Vec<ChainSlot> = Pack::unpack(r)?;
+        let free: Vec<u32> = Pack::unpack(r)?;
+        let by_head: std::collections::BTreeMap<InstTag, u32> = Pack::unpack(r)?;
+        let limit: Option<usize> = Pack::unpack(r)?;
+        let live: usize = Pack::unpack(r)?;
+        let stats: ChainStats = Pack::unpack(r)?;
+        let corrupt =
+            |context: &str| chainiq_ckpt::CkptError::Corrupt { context: context.to_string() };
+        if limit.is_some_and(|l| slots.len() > l) {
+            return Err(corrupt("chain table exceeds its wire limit"));
+        }
+        if live != slots.iter().filter(|s| s.live).count() || live != by_head.len() {
+            return Err(corrupt("chain table live-count mismatch"));
+        }
+        if free.len() != slots.len() - live
+            || free.iter().any(|&id| slots.get(id as usize).is_none_or(|s| s.live))
+        {
+            return Err(corrupt("chain table free list inconsistent"));
+        }
+        for (&head, &id) in &by_head {
+            if slots.get(id as usize).is_none_or(|s| !s.live || s.head != head) {
+                return Err(corrupt("chain table head index inconsistent"));
+            }
+        }
+        Ok(ChainTable { slots, free, by_head, limit, live, stats })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -105,6 +105,31 @@ impl FuPool {
     }
 }
 
+impl chainiq_ckpt::Pack for FuPool {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.busy_until.pack(w);
+        self.issue_width.pack(w);
+        self.issued_this_cycle.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let busy_until: [Vec<Cycle>; 4] = Pack::unpack(r)?;
+        let issue_width: usize = Pack::unpack(r)?;
+        let issued_this_cycle: usize = Pack::unpack(r)?;
+        let units = busy_until[0].len();
+        if units == 0
+            || busy_until.iter().any(|v| v.len() != units)
+            || issue_width == 0
+            || issued_this_cycle > issue_width
+        {
+            return Err(chainiq_ckpt::CkptError::Corrupt {
+                context: "function-unit pool shape".to_string(),
+            });
+        }
+        Ok(FuPool { busy_until, issue_width, issued_this_cycle })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

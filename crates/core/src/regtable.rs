@@ -154,6 +154,59 @@ impl RegInfoTable {
     }
 }
 
+impl chainiq_ckpt::Pack for RegSched {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        match *self {
+            RegSched::Available => w.put_u8(0),
+            RegSched::Countdown { remaining } => {
+                w.put_u8(1);
+                remaining.pack(w);
+            }
+            RegSched::OnChain { chain, latency, head_loc, self_timed, suspended } => {
+                w.put_u8(2);
+                chain.pack(w);
+                latency.pack(w);
+                head_loc.pack(w);
+                self_timed.pack(w);
+                suspended.pack(w);
+            }
+        }
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        match r.take_u8("register schedule tag")? {
+            0 => Ok(RegSched::Available),
+            1 => Ok(RegSched::Countdown { remaining: Pack::unpack(r)? }),
+            2 => Ok(RegSched::OnChain {
+                chain: Pack::unpack(r)?,
+                latency: Pack::unpack(r)?,
+                head_loc: Pack::unpack(r)?,
+                self_timed: Pack::unpack(r)?,
+                suspended: Pack::unpack(r)?,
+            }),
+            t => Err(chainiq_ckpt::CkptError::Corrupt {
+                context: format!("register schedule tag {t}"),
+            }),
+        }
+    }
+}
+
+impl chainiq_ckpt::Pack for RegInfoTable {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.entries.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let entries: Vec<RegSched> = Pack::unpack(r)?;
+        if entries.len() != NUM_ARCH_REGS {
+            return Err(chainiq_ckpt::CkptError::Corrupt {
+                context: format!("register table holds {} entries", entries.len()),
+            });
+        }
+        Ok(RegInfoTable { entries })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1243,6 +1243,204 @@ impl SegmentedIq {
     }
 }
 
+impl chainiq_ckpt::Pack for SegmentedIqConfig {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.num_segments.pack(w);
+        self.segment_size.pack(w);
+        self.promote_width.pack(w);
+        self.max_chains.pack(w);
+        self.pushdown.pack(w);
+        self.bypass.pack(w);
+        self.two_chain_tracking.pack(w);
+        self.deadlock_recovery.pack(w);
+        self.predicted_load_latency.pack(w);
+        self.countdown_includes_descent.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(SegmentedIqConfig {
+            num_segments: Pack::unpack(r)?,
+            segment_size: Pack::unpack(r)?,
+            promote_width: Pack::unpack(r)?,
+            max_chains: Pack::unpack(r)?,
+            pushdown: Pack::unpack(r)?,
+            bypass: Pack::unpack(r)?,
+            two_chain_tracking: Pack::unpack(r)?,
+            deadlock_recovery: Pack::unpack(r)?,
+            predicted_load_latency: Pack::unpack(r)?,
+            countdown_includes_descent: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Pack for SchedOperand {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.chain.pack(w);
+        self.rel_latency.pack(w);
+        self.head_loc.pack(w);
+        self.self_timed.pack(w);
+        self.suspended.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(SchedOperand {
+            chain: Pack::unpack(r)?,
+            rel_latency: Pack::unpack(r)?,
+            head_loc: Pack::unpack(r)?,
+            self_timed: Pack::unpack(r)?,
+            suspended: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Pack for DataOperand {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.producer.pack(w);
+        self.ready_at.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(DataOperand { producer: Pack::unpack(r)?, ready_at: Pack::unpack(r)? })
+    }
+}
+
+impl chainiq_ckpt::Pack for Entry {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.tag.pack(w);
+        self.op.pack(w);
+        self.data_ops.pack(w);
+        self.sched_ops.pack(w);
+        self.heads_chain.pack(w);
+        self.moved_at.pack(w);
+        self.seg.pack(w);
+        self.ready_cache.pack(w);
+        self.live.pack(w);
+        self.counted.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(Entry {
+            tag: Pack::unpack(r)?,
+            op: Pack::unpack(r)?,
+            data_ops: Pack::unpack(r)?,
+            sched_ops: Pack::unpack(r)?,
+            heads_chain: Pack::unpack(r)?,
+            moved_at: Pack::unpack(r)?,
+            seg: Pack::unpack(r)?,
+            ready_cache: Pack::unpack(r)?,
+            live: Pack::unpack(r)?,
+            counted: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Snapshot for SegmentedIq {
+    const COMPONENT: &'static str = "core.segmented";
+    const VERSION: u16 = 1;
+
+    fn save(&self, w: &mut chainiq_ckpt::Writer) {
+        use chainiq_ckpt::Pack;
+        // Scratch buffers are transient (cleared before every use) and
+        // the `naive` kernel-mode flag is a property of the running
+        // queue, not of the simulated state; neither is serialized.
+        self.config.pack(w);
+        self.slots.pack(w);
+        self.free_slots.pack(w);
+        self.segs.pack(w);
+        self.followers.pack(w);
+        self.waiters.pack(w);
+        self.ready_count.pack(w);
+        self.ready_future.pack(w);
+        self.last_now.pack(w);
+        self.free_prev.pack(w);
+        self.sig_bufs.pack(w);
+        self.chains.pack(w);
+        self.regs.pack(w);
+        self.stats.pack(w);
+        self.issued_this_cycle.pack(w);
+        self.progress_last_cycle.pack(w);
+    }
+
+    fn restore(&mut self, r: &mut chainiq_ckpt::Reader<'_>) -> Result<(), chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let corrupt =
+            |context: &str| chainiq_ckpt::CkptError::Corrupt { context: context.to_string() };
+        let config: SegmentedIqConfig = Pack::unpack(r)?;
+        if config != self.config {
+            return Err(corrupt("segmented IQ config differs from the running queue"));
+        }
+        let slots: Vec<Entry> = Pack::unpack(r)?;
+        let free_slots: Vec<u32> = Pack::unpack(r)?;
+        let segs: Vec<Vec<(InstTag, u32)>> = Pack::unpack(r)?;
+        let followers: Vec<Vec<(ChainRef, InstTag, u32)>> = Pack::unpack(r)?;
+        let waiters: BTreeSet<(InstTag, InstTag, u32)> = Pack::unpack(r)?;
+        let ready_count: Vec<u64> = Pack::unpack(r)?;
+        let ready_future: BTreeSet<(Cycle, InstTag, u32)> = Pack::unpack(r)?;
+        let last_now: Cycle = Pack::unpack(r)?;
+        let free_prev: Vec<usize> = Pack::unpack(r)?;
+        let sig_bufs: Vec<Vec<WireSignal>> = Pack::unpack(r)?;
+        let chains: ChainTable = Pack::unpack(r)?;
+        let regs: Vec<RegInfoTable> = Pack::unpack(r)?;
+        let stats: SegmentedStats = Pack::unpack(r)?;
+        let issued_this_cycle: bool = Pack::unpack(r)?;
+        let progress_last_cycle: bool = Pack::unpack(r)?;
+
+        let n = config.num_segments;
+        if segs.len() != n
+            || followers.len() != n
+            || ready_count.len() != n
+            || free_prev.len() != n
+            || sig_bufs.len() != n
+        {
+            return Err(corrupt("segmented IQ per-segment vector lengths"));
+        }
+        if regs.is_empty() {
+            return Err(corrupt("segmented IQ without a register table"));
+        }
+        for (k, list) in segs.iter().enumerate() {
+            if list.len() > config.segment_size {
+                return Err(corrupt("overfull segment in checkpoint"));
+            }
+            for &(tag, slot) in list {
+                let ok =
+                    slots.get(slot as usize).is_some_and(|e| e.live && e.tag == tag && e.seg == k);
+                if !ok {
+                    return Err(corrupt("segment list points at a mismatched slab slot"));
+                }
+            }
+        }
+        if followers.iter().flatten().any(|&(_, _, s)| (s as usize) >= slots.len())
+            || waiters.iter().any(|&(_, _, s)| (s as usize) >= slots.len())
+            || ready_future.iter().any(|&(_, _, s)| (s as usize) >= slots.len())
+        {
+            return Err(corrupt("index tuple points outside the slab"));
+        }
+        if free_slots.iter().any(|&s| slots.get(s as usize).is_none_or(|e| e.live)) {
+            return Err(corrupt("free list points at a live slab slot"));
+        }
+
+        self.slots = slots;
+        self.free_slots = free_slots;
+        self.segs = segs;
+        self.followers = followers;
+        self.waiters = waiters;
+        self.ready_count = ready_count;
+        self.ready_future = ready_future;
+        self.last_now = last_now;
+        self.free_prev = free_prev;
+        self.sig_bufs = sig_bufs;
+        self.chains = chains;
+        self.regs = regs;
+        self.stats = stats;
+        self.issued_this_cycle = issued_this_cycle;
+        self.progress_last_cycle = progress_last_cycle;
+        self.scratch_pairs.clear();
+        self.scratch_picks.clear();
+        self.scratch_sigs.clear();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2225,6 +2423,7 @@ mod differential {
         program: &[RandInst],
         limit: u64,
         flush_at: Option<u64>,
+        ckpt_at: Option<u64>,
     ) -> (Vec<(u64, InstTag)>, SegmentedStats) {
         let mut fus = FuPool::table1();
         let mut last_writer: [Option<InstTag>; 32] = [None; 32];
@@ -2235,6 +2434,19 @@ mod differential {
         let mut schedule = Vec::new();
 
         for now in 1..=limit {
+            // Mid-run snapshot: serialize the queue and carry on in a
+            // freshly constructed replacement restored from the bytes.
+            // Everything observable afterwards must be unchanged.
+            if ckpt_at == Some(now) {
+                let mut w = chainiq_ckpt::Writer::new();
+                chainiq_ckpt::save_section(&mut w, iq);
+                let bytes = w.into_bytes();
+                let mut fresh = SegmentedIq::new(iq.config);
+                let mut r = chainiq_ckpt::Reader::new(&bytes);
+                chainiq_ckpt::restore_section(&mut r, &mut fresh)
+                    .expect("mid-run snapshot must restore");
+                *iq = fresh;
+            }
             let mut k = 0;
             while k < fills.len() {
                 if fills[k].0 == now {
@@ -2327,8 +2539,8 @@ mod differential {
             let mut fast = SegmentedIq::new(cfg);
             let mut naive = SegmentedIq::new(cfg);
             naive.set_naive_kernel(true);
-            let (sched_fast, stats_fast) = drive(&mut fast, &program, limit, flush_at);
-            let (sched_naive, stats_naive) = drive(&mut naive, &program, limit, flush_at);
+            let (sched_fast, stats_fast) = drive(&mut fast, &program, limit, flush_at, None);
+            let (sched_naive, stats_naive) = drive(&mut naive, &program, limit, flush_at, None);
             prop_assert_eq!(sched_fast, sched_naive, "issue schedules diverge");
             prop_assert_eq!(
                 format!("{stats_fast:?}"),
@@ -2336,6 +2548,27 @@ mod differential {
                 "final statistics diverge"
             );
             prop_assert_eq!(fast.occupancy(), naive.occupancy());
+        }
+
+        /// Snapshot-at-N then restore into a freshly constructed queue
+        /// must be observationally identical to running straight through:
+        /// same issue schedule, same final statistics, same occupancy.
+        fn queue_restore_equals_continuous(g, cases = 30) {
+            let program = g.vec(1..100, rand_inst);
+            let cfg = rand_cfg(g);
+            let limit = 1200;
+            let ckpt_at = g.usize(1..1200) as u64;
+            let mut cont = SegmentedIq::new(cfg);
+            let mut snap = SegmentedIq::new(cfg);
+            let (sched_c, stats_c) = drive(&mut cont, &program, limit, None, None);
+            let (sched_s, stats_s) = drive(&mut snap, &program, limit, None, Some(ckpt_at));
+            prop_assert_eq!(sched_c, sched_s, "issue schedules diverge after restore");
+            prop_assert_eq!(
+                format!("{stats_c:?}"),
+                format!("{stats_s:?}"),
+                "final statistics diverge after restore"
+            );
+            prop_assert_eq!(cont.occupancy(), snap.occupancy());
         }
     }
 }

@@ -47,7 +47,7 @@ mod smt;
 mod stats;
 
 pub use config::SimConfig;
-pub use harness::{run_one, IqKind, RunResult};
+pub use harness::{run_one, run_one_ckpt, CkptOutcome, CkptPlan, IqKind, RunResult};
 pub use pipeline::Pipeline;
 pub use smt::SmtPipeline;
 pub use stats::SimStats;

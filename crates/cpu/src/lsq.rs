@@ -259,6 +259,92 @@ impl Lsq {
     }
 }
 
+impl chainiq_ckpt::Pack for State {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        match self {
+            State::WaitingEa => w.put_u8(0),
+            State::Ready(at) => {
+                w.put_u8(1);
+                at.pack(w);
+            }
+            State::Done => w.put_u8(2),
+        }
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        match r.take_u8("LSQ entry state tag")? {
+            0 => Ok(State::WaitingEa),
+            1 => Ok(State::Ready(Pack::unpack(r)?)),
+            2 => Ok(State::Done),
+            _ => {
+                Err(chainiq_ckpt::CkptError::Corrupt { context: "LSQ entry state tag".to_string() })
+            }
+        }
+    }
+}
+
+impl chainiq_ckpt::Pack for LsqEntry {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.tag.pack(w);
+        self.pc.pack(w);
+        self.addr.pack(w);
+        self.is_store.pack(w);
+        self.state.pack(w);
+        self.committed.pack(w);
+        self.predicted_hit.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(LsqEntry {
+            tag: Pack::unpack(r)?,
+            pc: Pack::unpack(r)?,
+            addr: Pack::unpack(r)?,
+            is_store: Pack::unpack(r)?,
+            state: Pack::unpack(r)?,
+            committed: Pack::unpack(r)?,
+            predicted_hit: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Pack for LsqStats {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.loads_issued.pack(w);
+        self.stores_written.pack(w);
+        self.forwards.pack(w);
+        self.disambiguation_stalls.pack(w);
+        self.mshr_retries.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(LsqStats {
+            loads_issued: Pack::unpack(r)?,
+            stores_written: Pack::unpack(r)?,
+            forwards: Pack::unpack(r)?,
+            disambiguation_stalls: Pack::unpack(r)?,
+            mshr_retries: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Pack for Lsq {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.entries.pack(w);
+        self.read_ports.pack(w);
+        self.write_ports.pack(w);
+        self.stats.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(Lsq {
+            entries: Pack::unpack(r)?,
+            read_ports: Pack::unpack(r)?,
+            write_ports: Pack::unpack(r)?,
+            stats: Pack::unpack(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

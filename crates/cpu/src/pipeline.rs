@@ -397,3 +397,117 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
         }
     }
 }
+
+impl chainiq_ckpt::Pack for Event {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        match self {
+            Event::Complete(tag) => {
+                w.put_u8(0);
+                tag.pack(w);
+            }
+            Event::LoadMiss(tag) => {
+                w.put_u8(1);
+                tag.pack(w);
+            }
+            Event::LoadFill(tag) => {
+                w.put_u8(2);
+                tag.pack(w);
+            }
+        }
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        match r.take_u8("pipeline event tag")? {
+            0 => Ok(Event::Complete(Pack::unpack(r)?)),
+            1 => Ok(Event::LoadMiss(Pack::unpack(r)?)),
+            2 => Ok(Event::LoadFill(Pack::unpack(r)?)),
+            _ => {
+                Err(chainiq_ckpt::CkptError::Corrupt { context: "pipeline event tag".to_string() })
+            }
+        }
+    }
+}
+
+impl<Q, W> chainiq_ckpt::Snapshot for Pipeline<Q, W>
+where
+    Q: IssueQueue + chainiq_ckpt::Snapshot,
+    W: Iterator<Item = Inst> + chainiq_ckpt::Snapshot,
+{
+    const COMPONENT: &'static str = "cpu.pipeline";
+    const VERSION: u16 = 1;
+
+    /// The machine configuration is not serialized (restore targets a
+    /// pipeline already built from it); a fingerprint of its debug
+    /// rendering guards against restoring into a differently configured
+    /// machine. The queue, workload, memory hierarchy and predictors are
+    /// nested sections so each carries its own version and fingerprint.
+    fn save(&self, w: &mut chainiq_ckpt::Writer) {
+        use chainiq_ckpt::Pack;
+        chainiq_ckpt::fingerprint(format!("{:?}", self.config).as_bytes()).pack(w);
+        self.now.pack(w);
+        chainiq_ckpt::save_section(w, &self.iq);
+        chainiq_ckpt::save_section(w, &self.workload);
+        chainiq_ckpt::save_section(w, &self.mem);
+        chainiq_ckpt::save_section(w, &self.bp);
+        chainiq_ckpt::save_section(w, &self.hmp);
+        chainiq_ckpt::save_section(w, &self.lrp);
+        self.frontend.pack(w);
+        self.rob.pack(w);
+        self.lsq.pack(w);
+        self.fus.pack(w);
+        self.rename.pack(w);
+        self.events.pack(w);
+        self.completion_time.pack(w);
+        self.next_tag.pack(w);
+        self.in_flight.pack(w);
+        self.redirect_waiting.pack(w);
+        self.store_value.pack(w);
+        self.waiting_stores.pack(w);
+        self.stats.pack(w);
+    }
+
+    fn restore(&mut self, r: &mut chainiq_ckpt::Reader<'_>) -> Result<(), chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let fp: u64 = Pack::unpack(r)?;
+        if fp != chainiq_ckpt::fingerprint(format!("{:?}", self.config).as_bytes()) {
+            return Err(chainiq_ckpt::CkptError::Corrupt {
+                context: "machine configuration differs from the running pipeline".to_string(),
+            });
+        }
+        let now: Cycle = Pack::unpack(r)?;
+        chainiq_ckpt::restore_section(r, &mut self.iq)?;
+        chainiq_ckpt::restore_section(r, &mut self.workload)?;
+        chainiq_ckpt::restore_section(r, &mut self.mem)?;
+        chainiq_ckpt::restore_section(r, &mut self.bp)?;
+        chainiq_ckpt::restore_section(r, &mut self.hmp)?;
+        chainiq_ckpt::restore_section(r, &mut self.lrp)?;
+        let frontend: Frontend = Pack::unpack(r)?;
+        let rob: Rob = Pack::unpack(r)?;
+        let lsq: Lsq = Pack::unpack(r)?;
+        let fus: FuPool = Pack::unpack(r)?;
+        let rename: RenameState = Pack::unpack(r)?;
+        let events: BTreeMap<Cycle, Vec<Event>> = Pack::unpack(r)?;
+        let completion_time: BTreeMap<InstTag, Cycle> = Pack::unpack(r)?;
+        let next_tag: u64 = Pack::unpack(r)?;
+        let in_flight: usize = Pack::unpack(r)?;
+        let redirect_waiting: Option<InstTag> = Pack::unpack(r)?;
+        let store_value: BTreeMap<InstTag, SrcOperand> = Pack::unpack(r)?;
+        let waiting_stores: BTreeMap<InstTag, Vec<InstTag>> = Pack::unpack(r)?;
+        let stats: SimStats = Pack::unpack(r)?;
+        self.now = now;
+        self.frontend = frontend;
+        self.rob = rob;
+        self.lsq = lsq;
+        self.fus = fus;
+        self.rename = rename;
+        self.events = events;
+        self.completion_time = completion_time;
+        self.next_tag = next_tag;
+        self.in_flight = in_flight;
+        self.redirect_waiting = redirect_waiting;
+        self.store_value = store_value;
+        self.waiting_stores = waiting_stores;
+        self.stats = stats;
+        Ok(())
+    }
+}

@@ -70,6 +70,17 @@ impl RenameState {
     }
 }
 
+impl chainiq_ckpt::Pack for RenameState {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.map.pack(w);
+        self.ready_time.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(RenameState { map: Pack::unpack(r)?, ready_time: Pack::unpack(r)? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

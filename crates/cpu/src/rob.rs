@@ -117,6 +117,69 @@ impl Rob {
     }
 }
 
+impl chainiq_ckpt::Pack for RobState {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        w.put_u8(match self {
+            RobState::Dispatched => 0,
+            RobState::Issued => 1,
+            RobState::Completed => 2,
+        });
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        match r.take_u8("ROB state tag")? {
+            0 => Ok(RobState::Dispatched),
+            1 => Ok(RobState::Issued),
+            2 => Ok(RobState::Completed),
+            _ => Err(chainiq_ckpt::CkptError::Corrupt { context: "ROB state tag".to_string() }),
+        }
+    }
+}
+
+impl chainiq_ckpt::Pack for RobEntry {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.tag.pack(w);
+        self.inst.pack(w);
+        self.state.pack(w);
+        self.src_producers.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(RobEntry {
+            tag: Pack::unpack(r)?,
+            inst: Pack::unpack(r)?,
+            state: Pack::unpack(r)?,
+            src_producers: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Pack for Rob {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.entries.pack(w);
+        self.capacity.pack(w);
+        self.committed.pack(w);
+        self.occupancy_accum.pack(w);
+        self.samples.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let entries: std::collections::VecDeque<RobEntry> = Pack::unpack(r)?;
+        let capacity: usize = Pack::unpack(r)?;
+        if capacity == 0 || entries.len() > capacity {
+            return Err(chainiq_ckpt::CkptError::Corrupt {
+                context: "ROB occupancy exceeds its capacity".to_string(),
+            });
+        }
+        Ok(Rob {
+            entries,
+            capacity,
+            committed: Pack::unpack(r)?,
+            occupancy_accum: Pack::unpack(r)?,
+            samples: Pack::unpack(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,148 @@
+//! [`Pack`] impls for the ISA value types, so every component snapshot
+//! can embed instructions and registers without re-deriving an encoding.
+
+use chainiq_ckpt::{CkptError, Pack, Reader, Writer};
+
+use crate::{ArchReg, BranchInfo, Inst, MemInfo, OpClass, NUM_ARCH_REGS};
+
+impl Pack for ArchReg {
+    fn pack(&self, w: &mut Writer) {
+        w.put_u8(self.index() as u8);
+    }
+    fn unpack(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        let idx = r.take_u8("arch reg")?;
+        if usize::from(idx) >= NUM_ARCH_REGS {
+            return Err(CkptError::Corrupt { context: format!("arch reg index {idx}") });
+        }
+        Ok(ArchReg::from_index(usize::from(idx)))
+    }
+}
+
+impl Pack for OpClass {
+    fn pack(&self, w: &mut Writer) {
+        let tag = match self {
+            OpClass::IntAlu => 0u8,
+            OpClass::IntMul => 1,
+            OpClass::IntDiv => 2,
+            OpClass::FpAdd => 3,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 5,
+            OpClass::FpSqrt => 6,
+            OpClass::Load => 7,
+            OpClass::Store => 8,
+            OpClass::Branch => 9,
+        };
+        w.put_u8(tag);
+    }
+    fn unpack(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        Ok(match r.take_u8("op class")? {
+            0 => OpClass::IntAlu,
+            1 => OpClass::IntMul,
+            2 => OpClass::IntDiv,
+            3 => OpClass::FpAdd,
+            4 => OpClass::FpMul,
+            5 => OpClass::FpDiv,
+            6 => OpClass::FpSqrt,
+            7 => OpClass::Load,
+            8 => OpClass::Store,
+            9 => OpClass::Branch,
+            other => {
+                return Err(CkptError::Corrupt { context: format!("op class tag {other}") });
+            }
+        })
+    }
+}
+
+impl Pack for MemInfo {
+    fn pack(&self, w: &mut Writer) {
+        self.addr.pack(w);
+        self.size.pack(w);
+    }
+    fn unpack(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        Ok(MemInfo { addr: Pack::unpack(r)?, size: Pack::unpack(r)? })
+    }
+}
+
+impl Pack for BranchInfo {
+    fn pack(&self, w: &mut Writer) {
+        self.taken.pack(w);
+        self.target.pack(w);
+        self.unconditional.pack(w);
+    }
+    fn unpack(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        Ok(BranchInfo {
+            taken: Pack::unpack(r)?,
+            target: Pack::unpack(r)?,
+            unconditional: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl Pack for Inst {
+    fn pack(&self, w: &mut Writer) {
+        self.pc.pack(w);
+        self.op.pack(w);
+        self.dest.pack(w);
+        self.src1.pack(w);
+        self.src2.pack(w);
+        self.mem.pack(w);
+        self.branch.pack(w);
+    }
+    fn unpack(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        Ok(Inst {
+            pc: Pack::unpack(r)?,
+            op: Pack::unpack(r)?,
+            dest: Pack::unpack(r)?,
+            src1: Pack::unpack(r)?,
+            src2: Pack::unpack(r)?,
+            mem: Pack::unpack(r)?,
+            branch: Pack::unpack(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inst_round_trips() {
+        let insts = vec![
+            Inst::alu(0x10, ArchReg::int(3), &[ArchReg::int(1), ArchReg::int(2)]),
+            Inst::load(0x14, ArchReg::int(4), ArchReg::int(5), 0xAB0),
+            Inst::store(0x18, ArchReg::int(4), ArchReg::int(5), 0xAB8),
+            Inst::branch(0x1C, Some(ArchReg::int(1)), true, 0x40),
+            Inst::jump(0x20, 0x80),
+            Inst::compute(0x24, OpClass::FpSqrt, ArchReg::fp(0), &[ArchReg::fp(1)]),
+        ];
+        let mut w = Writer::new();
+        insts.pack(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Vec::<Inst>::unpack(&mut r).unwrap(), insts);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn every_op_class_round_trips() {
+        for op in OpClass::ALL {
+            let mut w = Writer::new();
+            op.pack(&mut w);
+            let bytes = w.into_bytes();
+            assert_eq!(OpClass::unpack(&mut Reader::new(&bytes)).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn out_of_range_reg_and_op_are_corrupt() {
+        let bytes = [200u8];
+        assert!(matches!(
+            ArchReg::unpack(&mut Reader::new(&bytes)),
+            Err(CkptError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            OpClass::unpack(&mut Reader::new(&bytes)),
+            Err(CkptError::Corrupt { .. })
+        ));
+    }
+}

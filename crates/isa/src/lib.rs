@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod ckpt;
 mod inst;
 mod op;
 mod reg;

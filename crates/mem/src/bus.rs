@@ -71,6 +71,30 @@ impl Bus {
     }
 }
 
+impl chainiq_ckpt::Pack for Bus {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.bytes_per_cycle.pack(w);
+        self.next_free.pack(w);
+        self.busy_cycles.pack(w);
+        self.transfers.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let bytes_per_cycle: u64 = Pack::unpack(r)?;
+        if bytes_per_cycle == 0 {
+            return Err(chainiq_ckpt::CkptError::Corrupt {
+                context: "bus with zero bandwidth".to_string(),
+            });
+        }
+        Ok(Bus {
+            bytes_per_cycle,
+            next_free: Pack::unpack(r)?,
+            busy_cycles: Pack::unpack(r)?,
+            transfers: Pack::unpack(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

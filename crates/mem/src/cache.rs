@@ -203,6 +203,80 @@ impl CacheArray {
     }
 }
 
+impl chainiq_ckpt::Pack for CacheConfig {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.size_bytes.pack(w);
+        self.assoc.pack(w);
+        self.line_bytes.pack(w);
+        self.latency.pack(w);
+        self.mshrs.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(CacheConfig {
+            size_bytes: Pack::unpack(r)?,
+            assoc: Pack::unpack(r)?,
+            line_bytes: Pack::unpack(r)?,
+            latency: Pack::unpack(r)?,
+            mshrs: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Pack for Way {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.tag.pack(w);
+        self.dirty.pack(w);
+        self.last_use.pack(w);
+        self.valid.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(Way {
+            tag: Pack::unpack(r)?,
+            dirty: Pack::unpack(r)?,
+            last_use: Pack::unpack(r)?,
+            valid: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Pack for CacheArray {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.config.pack(w);
+        self.sets.pack(w);
+        self.use_clock.pack(w);
+        self.stats.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let config = CacheConfig::unpack(r)?;
+        let sets: Vec<Vec<Way>> = Pack::unpack(r)?;
+        // Re-derive the geometry with explicit checks: `num_sets` panics
+        // on inconsistent input, which a corrupted image must never do.
+        let geometry_ok = config.line_bytes.is_power_of_two()
+            && config.assoc > 0
+            && config.size_bytes > 0
+            && config.size_bytes.is_multiple_of(config.assoc * config.line_bytes)
+            && sets.len() == config.size_bytes / (config.assoc * config.line_bytes)
+            && sets.len().is_power_of_two()
+            && sets.iter().all(|s| s.len() == config.assoc);
+        if !geometry_ok {
+            return Err(chainiq_ckpt::CkptError::Corrupt {
+                context: format!("cache geometry: {} sets for {config:?}", sets.len()),
+            });
+        }
+        Ok(CacheArray {
+            config,
+            sets,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: (config.size_bytes / (config.assoc * config.line_bytes) - 1) as u64,
+            use_clock: Pack::unpack(r)?,
+            stats: Pack::unpack(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

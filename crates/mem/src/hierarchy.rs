@@ -330,6 +330,67 @@ impl Hierarchy {
     }
 }
 
+impl chainiq_ckpt::Pack for MemConfig {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.l1i.pack(w);
+        self.l1d.pack(w);
+        self.l2.pack(w);
+        self.l1_l2_bytes_per_cycle.pack(w);
+        self.memory_latency.pack(w);
+        self.memory_bytes_per_cycle.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(MemConfig {
+            l1i: Pack::unpack(r)?,
+            l1d: Pack::unpack(r)?,
+            l2: Pack::unpack(r)?,
+            l1_l2_bytes_per_cycle: Pack::unpack(r)?,
+            memory_latency: Pack::unpack(r)?,
+            memory_bytes_per_cycle: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Snapshot for Hierarchy {
+    const COMPONENT: &'static str = "mem.hierarchy";
+    const VERSION: u16 = 1;
+
+    fn save(&self, w: &mut chainiq_ckpt::Writer) {
+        use chainiq_ckpt::Pack;
+        self.config.pack(w);
+        self.l1i.pack(w);
+        self.l1d.pack(w);
+        self.l2.pack(w);
+        self.l1i_mshrs.pack(w);
+        self.l1d_mshrs.pack(w);
+        self.l2_mshrs.pack(w);
+        self.l1_l2_bus.pack(w);
+        self.memory_bus.pack(w);
+        self.stats.pack(w);
+    }
+
+    fn restore(&mut self, r: &mut chainiq_ckpt::Reader<'_>) -> Result<(), chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let config = MemConfig::unpack(r)?;
+        if config != self.config {
+            return Err(chainiq_ckpt::CkptError::Corrupt {
+                context: "memory hierarchy config differs from the running one".to_string(),
+            });
+        }
+        self.l1i = Pack::unpack(r)?;
+        self.l1d = Pack::unpack(r)?;
+        self.l2 = Pack::unpack(r)?;
+        self.l1i_mshrs = Pack::unpack(r)?;
+        self.l1d_mshrs = Pack::unpack(r)?;
+        self.l2_mshrs = Pack::unpack(r)?;
+        self.l1_l2_bus = Pack::unpack(r)?;
+        self.memory_bus = Pack::unpack(r)?;
+        self.stats = Pack::unpack(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

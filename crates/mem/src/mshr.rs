@@ -136,6 +136,47 @@ impl MshrFile {
     }
 }
 
+impl chainiq_ckpt::Pack for Entry {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.line.pack(w);
+        self.fill_at.pack(w);
+        self.merged.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(Entry { line: Pack::unpack(r)?, fill_at: Pack::unpack(r)?, merged: Pack::unpack(r)? })
+    }
+}
+
+impl chainiq_ckpt::Pack for MshrFile {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.capacity.pack(w);
+        self.entries.pack(w);
+        self.peak_in_use.pack(w);
+        self.total_allocations.pack(w);
+        self.total_merges.pack(w);
+        self.total_rejections.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let capacity: usize = Pack::unpack(r)?;
+        let entries: Vec<Entry> = Pack::unpack(r)?;
+        if capacity == 0 || entries.len() > capacity {
+            return Err(chainiq_ckpt::CkptError::Corrupt {
+                context: format!("MSHR file: {} entries in capacity {capacity}", entries.len()),
+            });
+        }
+        Ok(MshrFile {
+            capacity,
+            entries,
+            peak_in_use: Pack::unpack(r)?,
+            total_allocations: Pack::unpack(r)?,
+            total_merges: Pack::unpack(r)?,
+            total_rejections: Pack::unpack(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

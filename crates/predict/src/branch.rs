@@ -300,6 +300,126 @@ impl HybridBranchPredictor {
     }
 }
 
+impl chainiq_ckpt::Pack for BranchPredictorConfig {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.global_history_bits.pack(w);
+        self.local_histories.pack(w);
+        self.local_history_bits.pack(w);
+        self.btb_entries.pack(w);
+        self.btb_assoc.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(BranchPredictorConfig {
+            global_history_bits: Pack::unpack(r)?,
+            local_histories: Pack::unpack(r)?,
+            local_history_bits: Pack::unpack(r)?,
+            btb_entries: Pack::unpack(r)?,
+            btb_assoc: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Pack for BranchStats {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.lookups.pack(w);
+        self.correct.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(BranchStats { lookups: Pack::unpack(r)?, correct: Pack::unpack(r)? })
+    }
+}
+
+impl chainiq_ckpt::Pack for BtbEntry {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.pc.pack(w);
+        self.target.pack(w);
+        self.last_use.pack(w);
+        self.valid.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(BtbEntry {
+            pc: Pack::unpack(r)?,
+            target: Pack::unpack(r)?,
+            last_use: Pack::unpack(r)?,
+            valid: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Pack for Btb {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.sets.pack(w);
+        self.set_mask.pack(w);
+        self.use_clock.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let sets: Vec<Vec<BtbEntry>> = Pack::unpack(r)?;
+        let set_mask: u64 = Pack::unpack(r)?;
+        let use_clock: u64 = Pack::unpack(r)?;
+        if sets.is_empty() || !sets.len().is_power_of_two() || set_mask != (sets.len() - 1) as u64 {
+            return Err(chainiq_ckpt::CkptError::Corrupt {
+                context: format!("BTB geometry: {} sets, mask {set_mask:#x}", sets.len()),
+            });
+        }
+        Ok(Btb { sets, set_mask, use_clock })
+    }
+}
+
+impl chainiq_ckpt::Snapshot for HybridBranchPredictor {
+    const COMPONENT: &'static str = "predict.branch";
+    const VERSION: u16 = 1;
+
+    fn save(&self, w: &mut chainiq_ckpt::Writer) {
+        use chainiq_ckpt::Pack;
+        self.config.pack(w);
+        self.global_history.pack(w);
+        self.global_pht.pack(w);
+        self.choice_pht.pack(w);
+        self.local_histories.pack(w);
+        self.local_pht.pack(w);
+        self.btb.pack(w);
+        self.stats.pack(w);
+    }
+
+    fn restore(&mut self, r: &mut chainiq_ckpt::Reader<'_>) -> Result<(), chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let config = BranchPredictorConfig::unpack(r)?;
+        if config != self.config {
+            return Err(chainiq_ckpt::CkptError::Corrupt {
+                context: "branch predictor config differs from the running one".to_string(),
+            });
+        }
+        let global_history: u64 = Pack::unpack(r)?;
+        let global_pht: Vec<SaturatingCounter> = Pack::unpack(r)?;
+        let choice_pht: Vec<SaturatingCounter> = Pack::unpack(r)?;
+        let local_histories: Vec<u16> = Pack::unpack(r)?;
+        let local_pht: Vec<SaturatingCounter> = Pack::unpack(r)?;
+        let global_entries = 1usize << config.global_history_bits;
+        let local_entries = 1usize << config.local_history_bits;
+        if global_pht.len() != global_entries
+            || choice_pht.len() != global_entries
+            || local_histories.len() != config.local_histories
+            || local_pht.len() != local_entries
+        {
+            return Err(chainiq_ckpt::CkptError::Corrupt {
+                context: "branch predictor table sizes disagree with config".to_string(),
+            });
+        }
+        self.global_history = global_history;
+        self.global_pht = global_pht;
+        self.choice_pht = choice_pht;
+        self.local_histories = local_histories;
+        self.local_pht = local_pht;
+        self.btb = Pack::unpack(r)?;
+        self.stats = Pack::unpack(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

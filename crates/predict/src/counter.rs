@@ -73,6 +73,24 @@ impl SaturatingCounter {
     }
 }
 
+impl chainiq_ckpt::Pack for SaturatingCounter {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        w.put_u8(self.value);
+        w.put_u8(self.max);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        let value = r.take_u8("counter value")?;
+        let max = r.take_u8("counter max")?;
+        let width_ok = max != 0 && max != u8::MAX && (u16::from(max) + 1).is_power_of_two();
+        if !width_ok || value > max {
+            return Err(chainiq_ckpt::CkptError::Corrupt {
+                context: format!("saturating counter {value}/{max}"),
+            });
+        }
+        Ok(SaturatingCounter { value, max })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

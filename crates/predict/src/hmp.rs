@@ -160,6 +160,56 @@ impl HitMissPredictor {
     }
 }
 
+impl chainiq_ckpt::Pack for HmpStats {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.predictions.pack(w);
+        self.predicted_hit.pack(w);
+        self.predicted_hit_was_hit.pack(w);
+        self.actual_hits.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(HmpStats {
+            predictions: Pack::unpack(r)?,
+            predicted_hit: Pack::unpack(r)?,
+            predicted_hit_was_hit: Pack::unpack(r)?,
+            actual_hits: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl chainiq_ckpt::Snapshot for HitMissPredictor {
+    const COMPONENT: &'static str = "predict.hmp";
+    const VERSION: u16 = 1;
+
+    fn save(&self, w: &mut chainiq_ckpt::Writer) {
+        use chainiq_ckpt::Pack;
+        self.table.pack(w);
+        self.threshold.pack(w);
+        self.mask.pack(w);
+        self.stats.pack(w);
+        self.wrong_by_pc.pack(w);
+    }
+
+    fn restore(&mut self, r: &mut chainiq_ckpt::Reader<'_>) -> Result<(), chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let table: Vec<SaturatingCounter> = Pack::unpack(r)?;
+        let threshold: u8 = Pack::unpack(r)?;
+        let mask: usize = Pack::unpack(r)?;
+        if table.is_empty() || !table.len().is_power_of_two() || mask != table.len() - 1 {
+            return Err(chainiq_ckpt::CkptError::Corrupt {
+                context: format!("HMP geometry: {} entries, mask {mask:#x}", table.len()),
+            });
+        }
+        self.table = table;
+        self.threshold = threshold;
+        self.mask = mask;
+        self.stats = Pack::unpack(r)?;
+        self.wrong_by_pc = Pack::unpack(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -146,6 +146,44 @@ impl LeftRightPredictor {
     }
 }
 
+impl chainiq_ckpt::Pack for LrpStats {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.predictions.pack(w);
+        self.correct.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(LrpStats { predictions: Pack::unpack(r)?, correct: Pack::unpack(r)? })
+    }
+}
+
+impl chainiq_ckpt::Snapshot for LeftRightPredictor {
+    const COMPONENT: &'static str = "predict.lrp";
+    const VERSION: u16 = 1;
+
+    fn save(&self, w: &mut chainiq_ckpt::Writer) {
+        use chainiq_ckpt::Pack;
+        self.table.pack(w);
+        self.mask.pack(w);
+        self.stats.pack(w);
+    }
+
+    fn restore(&mut self, r: &mut chainiq_ckpt::Reader<'_>) -> Result<(), chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        let table: Vec<SaturatingCounter> = Pack::unpack(r)?;
+        let mask: usize = Pack::unpack(r)?;
+        if table.is_empty() || !table.len().is_power_of_two() || mask != table.len() - 1 {
+            return Err(chainiq_ckpt::CkptError::Corrupt {
+                context: format!("LRP geometry: {} entries, mask {mask:#x}", table.len()),
+            });
+        }
+        self.table = table;
+        self.mask = mask;
+        self.stats = Pack::unpack(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -393,6 +393,110 @@ impl PcCursor {
     }
 }
 
+impl chainiq_ckpt::Pack for KernelSpec {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        match *self {
+            KernelSpec::Stream { arrays, working_set, stride, fp_ops, store } => {
+                w.put_u8(0);
+                arrays.pack(w);
+                working_set.pack(w);
+                stride.pack(w);
+                fp_ops.pack(w);
+                store.pack(w);
+            }
+            KernelSpec::Stencil { taps, working_set, fp_ops } => {
+                w.put_u8(1);
+                taps.pack(w);
+                working_set.pack(w);
+                fp_ops.pack(w);
+            }
+            KernelSpec::Reduction { working_set, fp_mul } => {
+                w.put_u8(2);
+                working_set.pack(w);
+                fp_mul.pack(w);
+            }
+            KernelSpec::PointerChase { nodes, node_bytes, work_per_hop } => {
+                w.put_u8(3);
+                nodes.pack(w);
+                node_bytes.pack(w);
+                work_per_hop.pack(w);
+            }
+            KernelSpec::Gather { table_bytes, index_bytes, fp_ops } => {
+                w.put_u8(4);
+                table_bytes.pack(w);
+                index_bytes.pack(w);
+                fp_ops.pack(w);
+            }
+            KernelSpec::Branchy { taken_prob, random_frac, work, working_set } => {
+                w.put_u8(5);
+                taken_prob.pack(w);
+                random_frac.pack(w);
+                work.pack(w);
+                working_set.pack(w);
+            }
+        }
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(match r.take_u8("kernel spec tag")? {
+            0 => KernelSpec::Stream {
+                arrays: Pack::unpack(r)?,
+                working_set: Pack::unpack(r)?,
+                stride: Pack::unpack(r)?,
+                fp_ops: Pack::unpack(r)?,
+                store: Pack::unpack(r)?,
+            },
+            1 => KernelSpec::Stencil {
+                taps: Pack::unpack(r)?,
+                working_set: Pack::unpack(r)?,
+                fp_ops: Pack::unpack(r)?,
+            },
+            2 => KernelSpec::Reduction { working_set: Pack::unpack(r)?, fp_mul: Pack::unpack(r)? },
+            3 => KernelSpec::PointerChase {
+                nodes: Pack::unpack(r)?,
+                node_bytes: Pack::unpack(r)?,
+                work_per_hop: Pack::unpack(r)?,
+            },
+            4 => KernelSpec::Gather {
+                table_bytes: Pack::unpack(r)?,
+                index_bytes: Pack::unpack(r)?,
+                fp_ops: Pack::unpack(r)?,
+            },
+            5 => KernelSpec::Branchy {
+                taken_prob: Pack::unpack(r)?,
+                random_frac: Pack::unpack(r)?,
+                work: Pack::unpack(r)?,
+                working_set: Pack::unpack(r)?,
+            },
+            other => {
+                return Err(chainiq_ckpt::CkptError::Corrupt {
+                    context: format!("kernel spec tag {other}"),
+                });
+            }
+        })
+    }
+}
+
+impl chainiq_ckpt::Pack for KernelState {
+    fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.spec.pack(w);
+        self.pc_base.pack(w);
+        self.region.pack(w);
+        self.iter.pack(w);
+        self.chase_addr.pack(w);
+    }
+    fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
+        use chainiq_ckpt::Pack;
+        Ok(KernelState {
+            spec: Pack::unpack(r)?,
+            pc_base: Pack::unpack(r)?,
+            region: Pack::unpack(r)?,
+            iter: Pack::unpack(r)?,
+            chase_addr: Pack::unpack(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

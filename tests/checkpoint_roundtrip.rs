@@ -1,0 +1,218 @@
+//! Restore-equals-continuous differential suite for the checkpoint
+//! subsystem.
+//!
+//! The property under test: simulating to a cut point, serializing the
+//! machine, restoring the image into a *freshly constructed* machine and
+//! continuing must report exactly the statistics of one uninterrupted
+//! run. Any divergence means some piece of mutable state escaped the
+//! snapshot — the one failure mode a checkpoint cache must never have,
+//! because it silently corrupts every warm-started experiment.
+//!
+//! Component-level suites live next to each component (`chainiq-rng`,
+//! `chainiq-workload`, `chainiq-predict`, `chainiq-mem`, `chainiq-core`,
+//! `chainiq-baseline`); this file exercises the public seams: the
+//! workload generator, the whole-image framing, every queue design under
+//! the full pipeline, and the end-to-end cached harness path.
+
+use chainiq::ckpt::{
+    restore_section, save_section, CkptHeader, ImageReader, ImageWriter, Reader, Snapshot, Writer,
+};
+use chainiq::{
+    Bench, CkptOutcome, CkptPlan, DistanceConfig, DistanceIq, IdealIq, IqKind, Pipeline,
+    PrescheduleConfig, PrescheduledIq, SegmentedIq, SegmentedIqConfig, SimConfig,
+    SyntheticWorkload,
+};
+use chainiq_core::IssueQueue;
+use chainiq_devtest::{prop_assert, prop_assert_eq, prop_check};
+
+/// The Table 1 configuration the harness would build for this queue.
+fn config_for(capacity: usize, extra_dispatch: bool, use_hmp: bool, use_lrp: bool) -> SimConfig {
+    let mut c = SimConfig::default().rob_for_iq(capacity);
+    c.extra_dispatch_cycle = extra_dispatch;
+    c.use_hmp = use_hmp;
+    c.use_lrp = use_lrp;
+    c
+}
+
+/// Runs one continuous simulation and one snapshot-at-`cut`-then-restore
+/// simulation of the same machine, returning both stat renderings.
+fn pipeline_digests<Q>(
+    make_iq: &dyn Fn() -> Q,
+    bench: Bench,
+    seed: u64,
+    cut: u64,
+    total: u64,
+    config: SimConfig,
+) -> (String, String)
+where
+    Q: IssueQueue + Snapshot,
+{
+    let fresh =
+        || Pipeline::new(config, make_iq(), SyntheticWorkload::from_profile(bench.profile(), seed));
+
+    let mut continuous = fresh();
+    let a = continuous.run(total);
+
+    let mut donor = fresh();
+    let _ = donor.run(cut);
+    let mut w = Writer::new();
+    save_section(&mut w, &donor);
+    drop(donor);
+    let bytes = w.into_bytes();
+
+    let mut restored = fresh();
+    let mut r = Reader::new(&bytes);
+    restore_section(&mut r, &mut restored)
+        .expect("a snapshot must restore into an identically configured machine");
+    let b = restored.run(total);
+
+    (format!("{a:?}"), format!("{b:?}"))
+}
+
+prop_check! {
+    /// Whole-pipeline differential over every queue design, with random
+    /// benchmark, seed, predictor hooks and cut point.
+    fn pipeline_restore_equals_continuous(g, cases = 8) {
+        let bench = Bench::ALL[g.pick(Bench::ALL.len())];
+        let seed = g.any_u64();
+        let total = g.u64(1_500..3_000);
+        let cut = g.u64(1..total);
+        let use_hmp = g.bool();
+        let use_lrp = g.bool();
+        let (a, b) = match g.pick(4) {
+            0 => {
+                let cap = [16usize, 64, 256][g.pick(3)];
+                let config = config_for(cap, false, use_hmp, use_lrp);
+                pipeline_digests(&|| IdealIq::new(cap), bench, seed, cut, total, config)
+            }
+            1 => {
+                let mut qc = SegmentedIqConfig::paper(64, Some(64));
+                qc.two_chain_tracking = !use_lrp;
+                let config = config_for(qc.capacity(), true, use_hmp, use_lrp);
+                pipeline_digests(&|| SegmentedIq::new(qc), bench, seed, cut, total, config)
+            }
+            2 => {
+                let pc = PrescheduleConfig::paper(8);
+                let config = config_for(pc.capacity(), true, use_hmp, use_lrp);
+                pipeline_digests(&|| PrescheduledIq::new(pc), bench, seed, cut, total, config)
+            }
+            _ => {
+                let dc = DistanceConfig::paper_sized(8);
+                let config = config_for(dc.capacity(), true, use_hmp, use_lrp);
+                pipeline_digests(&|| DistanceIq::new(dc), bench, seed, cut, total, config)
+            }
+        };
+        prop_assert_eq!(a, b);
+    }
+
+    /// The workload generator (profile walker + RNG) restores mid-stream
+    /// and continues with the identical instruction sequence.
+    fn workload_restore_equals_continuous(g, cases = 24) {
+        let bench = Bench::ALL[g.pick(Bench::ALL.len())];
+        let seed = g.any_u64();
+        let skip = g.usize(0..5_000);
+
+        let mut continuous = SyntheticWorkload::from_profile(bench.profile(), seed);
+        for _ in 0..skip {
+            let _ = continuous.next();
+        }
+
+        let mut w = Writer::new();
+        save_section(&mut w, &continuous);
+        let bytes = w.into_bytes();
+        let mut restored = SyntheticWorkload::from_profile(bench.profile(), seed);
+        let mut r = Reader::new(&bytes);
+        restore_section(&mut r, &mut restored).expect("workload snapshot must restore");
+
+        for i in 0..200 {
+            let a = continuous.next();
+            let b = restored.next();
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"), "instruction {} diverged", i);
+        }
+    }
+
+    /// Whole-image framing: header plus several sections written with
+    /// [`ImageWriter`] parse back byte-complete through [`ImageReader`],
+    /// and the restored components resume identically.
+    fn image_framing_round_trips(g, cases = 16) {
+        let bench = Bench::ALL[g.pick(Bench::ALL.len())];
+        let seed = g.any_u64();
+        let skip = g.usize(0..2_000);
+        let header = CkptHeader {
+            workload_fp: g.any_u64(),
+            config_hash: g.any_u64(),
+            warmup: g.u64(0..1_000_000),
+        };
+
+        let mut first = SyntheticWorkload::from_profile(bench.profile(), seed);
+        let mut second = SyntheticWorkload::from_profile(bench.profile(), seed ^ 1);
+        for _ in 0..skip {
+            let _ = first.next();
+            let _ = second.next();
+        }
+
+        let mut image = ImageWriter::new(header);
+        image.section(&first);
+        image.section(&second);
+        let bytes = image.finish();
+
+        let mut img = ImageReader::parse(&bytes).expect("a freshly written image must parse");
+        prop_assert_eq!(img.header(), header);
+        prop_assert!(img.expect_key(header).is_ok());
+        let mut first_r = SyntheticWorkload::from_profile(bench.profile(), seed);
+        let mut second_r = SyntheticWorkload::from_profile(bench.profile(), seed ^ 1);
+        img.section(&mut first_r).expect("first section must restore");
+        img.section(&mut second_r).expect("second section must restore");
+        img.finish().expect("no bytes may remain after the last section");
+
+        for _ in 0..50 {
+            prop_assert_eq!(format!("{:?}", first.next()), format!("{:?}", first_r.next()));
+            prop_assert_eq!(format!("{:?}", second.next()), format!("{:?}", second_r.next()));
+        }
+    }
+}
+
+/// End-to-end cached harness path: a warm-started `run_one_ckpt` reports
+/// the same result as a cold `run_one` for every queue design.
+#[test]
+fn cached_harness_matches_cold_for_every_kind() {
+    let dir =
+        std::env::temp_dir().join(format!("chainiq-roundtrip-harness-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = CkptPlan { dir: dir.clone(), warmup: 800 };
+    let kinds = [
+        IqKind::Ideal(64),
+        IqKind::Segmented(SegmentedIqConfig::paper(64, Some(64))),
+        IqKind::Prescheduled(PrescheduleConfig::paper(8)),
+        IqKind::Distance(DistanceConfig::paper_sized(8)),
+    ];
+    for kind in kinds {
+        let cold = chainiq::run_one(Bench::Mgrid.profile(), kind, true, false, 2_500, 13);
+        let (_, miss) = chainiq::run_one_ckpt(
+            Bench::Mgrid.profile(),
+            kind,
+            true,
+            false,
+            2_500,
+            13,
+            Some(&plan),
+        );
+        assert_eq!(miss, CkptOutcome::MissSaved, "{kind:?}");
+        let (warm, hit) = chainiq::run_one_ckpt(
+            Bench::Mgrid.profile(),
+            kind,
+            true,
+            false,
+            2_500,
+            13,
+            Some(&plan),
+        );
+        assert_eq!(hit, CkptOutcome::Hit, "{kind:?}");
+        assert_eq!(
+            format!("{:?} {:?}", cold.stats, cold.segmented),
+            format!("{:?} {:?}", warm.stats, warm.segmented),
+            "{kind:?}: warm-started run must match the cold run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -27,6 +27,13 @@
 //!   line directly above) is a per-cycle simulation path; `.clone()`,
 //!   `Vec::new` and `.collect()` inside its body are flagged — reuse a
 //!   scratch buffer or an index instead.
+//! * **P3** — no `BTreeMap`/`BTreeSet` in a file carrying the bare
+//!   `hot-path` marker comment. Those files hold the
+//!   per-cycle kernel data structures, which were deliberately rebuilt
+//!   on slab-intrusive lists, bitsets and event wheels; a tree map
+//!   reintroduces pointer-chasing node allocation on the paths the
+//!   marker protects. Test code is exempt as always (reference models
+//!   in differential tests are the intended place for tree maps).
 //! * **S1** — no wall-clock or environment reads (`Instant`,
 //!   `SystemTime`, `std::time`, `env::var*`) inside a `Snapshot` impl —
 //!   in **any** crate, including the ones D2/D3 exempt. Checkpoint
@@ -46,8 +53,10 @@
 //!
 //! `// chainiq-analyze: allow(D1, why this occurrence is sound)` on the
 //! same line or the line directly above an occurrence suppresses it. The
-//! reason is mandatory (**A0**). The only other well-formed marker body
-//! is the bare word `hot`, which opts the following function into P2.
+//! reason is mandatory (**A0**). The only other well-formed marker
+//! bodies are the bare word `hot`, which opts the following function
+//! into P2, and the bare word `hot-path`, which opts the whole file into
+//! P3.
 
 use crate::lexer::{lex, TokKind, Token};
 use std::collections::BTreeMap;
@@ -81,6 +90,8 @@ pub enum RuleId {
     P1,
     /// Allocation in a hot-marked kernel function.
     P2,
+    /// Tree map in a hot-path-marked file.
+    P3,
     /// Wall-clock or environment read inside a `Snapshot` impl.
     S1,
     /// Missing `#![forbid(unsafe_code)]` in a crate root.
@@ -100,6 +111,7 @@ impl std::fmt::Display for RuleId {
             RuleId::H1 => "H1",
             RuleId::P1 => "P1",
             RuleId::P2 => "P2",
+            RuleId::P3 => "P3",
             RuleId::S1 => "S1",
             RuleId::U1 => "U1",
             RuleId::A0 => "A0",
@@ -117,6 +129,7 @@ impl RuleId {
             "H1" => Some(RuleId::H1),
             "P1" => Some(RuleId::P1),
             "P2" => Some(RuleId::P2),
+            "P3" => Some(RuleId::P3),
             "S1" => Some(RuleId::S1),
             "U1" => Some(RuleId::U1),
             "A0" => Some(RuleId::A0),
@@ -165,17 +178,20 @@ struct Suppression {
     lines: [u32; 2],
 }
 
-/// Parses suppression and `hot` marker comments out of the token stream.
-/// Malformed ones (neither `hot` nor `allow(...)`, unknown rule id,
-/// missing reason) produce A0 diagnostics. Returns the suppressions and
-/// the lines carrying a `hot` marker (which gates P2; see [`hot_mask`]).
+/// Parses suppression and `hot` / `hot-path` marker comments out of the
+/// token stream. Malformed ones (neither a marker word nor `allow(...)`,
+/// unknown rule id, missing reason) produce A0 diagnostics. Returns the
+/// suppressions, the lines carrying a `hot` marker (which gates P2; see
+/// [`hot_mask`]) and whether the file carries a `hot-path` marker (which
+/// gates P3).
 fn collect_suppressions(
     file: &str,
     toks: &[Token<'_>],
     diags: &mut Vec<Diagnostic>,
-) -> (Vec<Suppression>, Vec<u32>) {
+) -> (Vec<Suppression>, Vec<u32>, bool) {
     let mut out = Vec::new();
     let mut hot_lines = Vec::new();
+    let mut hot_path = false;
     for t in toks {
         if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
             continue;
@@ -188,6 +204,10 @@ fn collect_suppressions(
             hot_lines.push(t.line);
             continue;
         }
+        if rest.trim_end() == "hot-path" {
+            hot_path = true;
+            continue;
+        }
         let bad = |msg: &str, diags: &mut Vec<Diagnostic>| {
             diags.push(Diagnostic {
                 file: file.to_string(),
@@ -195,7 +215,8 @@ fn collect_suppressions(
                 rule: RuleId::A0,
                 message: format!(
                     "{msg} — write `// chainiq-analyze: allow(RULE, reason)` with a non-empty \
-                     reason, or `// chainiq-analyze: hot` to mark a kernel function"
+                     reason, `// chainiq-analyze: hot` to mark a kernel function, or \
+                     `// chainiq-analyze: hot-path` to mark a kernel file"
                 ),
             });
         };
@@ -218,7 +239,7 @@ fn collect_suppressions(
         }
         out.push(Suppression { rule, lines: [t.line, t.line + 1] });
     }
-    (out, hot_lines)
+    (out, hot_lines, hot_path)
 }
 
 fn is_suppressed(sups: &[Suppression], rule: RuleId, line: u32) -> bool {
@@ -474,7 +495,7 @@ fn snapshot_mask(toks: &[Token<'_>]) -> Vec<bool> {
 pub fn scan_source(crate_name: &str, file: &str, src: &str, count_panics: bool) -> SourceReport {
     let toks = lex(src);
     let mut report = SourceReport::default();
-    let (sups, hot_lines) = collect_suppressions(file, &toks, &mut report.diags);
+    let (sups, hot_lines, hot_path_file) = collect_suppressions(file, &toks, &mut report.diags);
     let mask = test_mask(&toks);
     let hotm = hot_mask(&toks, &hot_lines);
     let snapm = snapshot_mask(&toks);
@@ -514,6 +535,17 @@ pub fn scan_source(crate_name: &str, file: &str, src: &str, count_panics: bool) 
             continue;
         }
         match t.text {
+            "BTreeMap" | "BTreeSet" if hot_path_file => push(
+                &mut report,
+                RuleId::P3,
+                t.line,
+                format!(
+                    "{} in a hot-path-marked file: the kernel files were rebuilt on \
+                     slab-intrusive lists, bitsets and event wheels — keep tree maps out of \
+                     them (reference models belong in test code, which is exempt)",
+                    t.text
+                ),
+            ),
             "HashMap" | "HashSet" if sim => push(
                 &mut report,
                 RuleId::D1,
@@ -980,6 +1012,78 @@ mod tests {
              }",
         );
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    // ---- P3 ----
+
+    #[test]
+    fn p3_flags_tree_maps_in_hot_path_file() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "// chainiq-analyze: hot-path\n\
+             use std::collections::BTreeMap;\n\
+             fn f() { let _m: BTreeMap<u32, u32> = BTreeMap::new(); }",
+        );
+        assert_eq!(d.len(), 3, "import + type + constructor: {d:?}");
+        assert!(d.iter().all(|d| d.rule == RuleId::P3));
+    }
+
+    #[test]
+    fn p3_ignores_tree_maps_without_the_file_marker() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "use std::collections::BTreeSet;\nfn f() { let _s: BTreeSet<u32> = BTreeSet::new(); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn p3_ignores_tree_maps_in_test_code() {
+        // The differential/property tests inside a kernel file use tree
+        // maps as reference models on purpose.
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "// chainiq-analyze: hot-path\n\
+             fn f() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 use std::collections::BTreeMap;\n\
+                 #[test]\n\
+                 fn t() { let _m: BTreeMap<u8, u8> = BTreeMap::new(); }\n\
+             }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn p3_suppressed_with_reason_passes() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "// chainiq-analyze: hot-path\n\
+             // chainiq-analyze: allow(P3, cold-path config table, never touched per cycle)\n\
+             use std::collections::BTreeMap;",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn p3_hot_path_marker_is_not_a0() {
+        let d = diags_of("core", "crates/core/src/x.rs", "// chainiq-analyze: hot-path\nfn f() {}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn p3_hot_path_marker_with_trailing_words_is_a0() {
+        let d = diags_of(
+            "core",
+            "crates/core/src/x.rs",
+            "// chainiq-analyze: hot-path stuff\nfn f() {}",
+        );
+        assert!(d.iter().any(|d| d.rule == RuleId::A0), "{d:?}");
     }
 
     // ---- S1 ----

@@ -1,8 +1,19 @@
 //! Michaud & Seznec's prescheduling instruction queue (§2, §6.3).
+//!
+//! The v3 kernel rebuild mirrors the segmented queue's data layout:
+//! entries live in a recycled slab indexed by a [`TagMap`]; the
+//! scheduling array is a calendar [`Wheel`] of `(row, tag)` records plus
+//! a sorted backlog of *slipped* rows (due rows the issue buffer had no
+//! space for); per-producer wakeup subscriptions are slab-intrusive
+//! linked lists; and row occupancy is a [`TagMap`] keyed by row cycle.
+//! A cycle with nothing due costs one empty-bucket probe instead of an
+//! ordered-tree range scan, and no path here allocates or rebalances.
+// chainiq-analyze: hot-path
 
-use std::collections::{BTreeMap, BTreeSet};
-
-use chainiq_core::{DispatchInfo, DispatchStall, FuPool, InstTag, IqStats, IssueQueue, IssuedInst};
+use chainiq_core::slab_list::{self, Link, ListHead, NIL};
+use chainiq_core::{
+    DispatchInfo, DispatchStall, FuPool, InstTag, IqStats, IssueQueue, IssuedInst, TagMap, Wheel,
+};
 use chainiq_isa::{ArchReg, Cycle, OpClass, NUM_ARCH_REGS};
 
 /// Geometry of a [`PrescheduledIq`]; defaults follow the paper's §6.3
@@ -53,6 +64,10 @@ struct DataOperand {
 
 #[derive(Debug, Clone)]
 struct Entry {
+    /// Whether the slot holds a queued instruction (dead slots are on the
+    /// free list awaiting reuse).
+    live: bool,
+    tag: InstTag,
     op: OpClass,
     ops: [Option<DataOperand>; 2],
     /// Predicted issue cycle: the row of the scheduling array this entry
@@ -80,38 +95,52 @@ impl Entry {
 /// the issue buffer before they are ready, consuming its precious slots —
 /// the failure mode the paper's segmented design avoids (§3, §6.3).
 ///
-/// Rows are kept in absolute time: entries whose row has passed *slip*
-/// (stay due) until buffer space appears, and a *recirculation* rule
-/// evicts the youngest unready buffer entry when the buffer has filled
-/// with unready instructions while an older due instruction waits in the
-/// array — without it a mis-scheduled producer/consumer pair wedges the
-/// queue permanently (Michaud & Seznec likewise recirculate on
-/// mis-schedule).
+/// Rows are kept in absolute time: future rows sit on a calendar wheel
+/// keyed by row cycle, and entries whose row has passed *slip* into a
+/// sorted backlog (`overdue`) until buffer space appears. A
+/// *recirculation* rule evicts the youngest unready buffer entry when
+/// the buffer has filled with unready instructions while an older due
+/// instruction waits in the array — without it a mis-scheduled
+/// producer/consumer pair wedges the queue permanently (Michaud & Seznec
+/// likewise recirculate on mis-schedule).
 #[derive(Debug, Clone)]
 pub struct PrescheduledIq {
     config: PrescheduleConfig,
-    entries: BTreeMap<InstTag, Entry>,
-    /// Array-resident entries ordered `(scheduled_at, tag)` — the
-    /// per-cycle due-scan reads a prefix range instead of rescanning the
-    /// window (same indexed-wakeup treatment as the segmented kernel).
-    array: BTreeSet<(Cycle, InstTag)>,
-    /// Issue-buffer residents, in age (tag) order.
-    buffer: BTreeSet<InstTag>,
-    /// `(producer, consumer)` subscriptions: a completion announce is
-    /// delivered only to the consumers waiting on that producer.
-    waiters: BTreeSet<(InstTag, InstTag)>,
-    /// Occupancy of each future row (`scheduled_at` -> entries).
-    row_counts: BTreeMap<Cycle, u32>,
+    /// Entry slab: contiguous storage addressed by the slot numbers the
+    /// indexes carry. Slots are recycled LIFO.
+    slots: Vec<Entry>,
+    free_slots: Vec<u32>,
+    /// Tag → slab slot for every queued instruction.
+    by_tag: TagMap<u32>,
+    /// Issue-buffer residents in ascending tag (age) order.
+    buffer: Vec<InstTag>,
+    /// Waiter-list heads per producer tag: the data operands waiting on
+    /// that producer's wakeup announcement. Node id `2 * slot + k` is
+    /// slot `slot`'s operand `k`; the links live in `wait_links`.
+    waiter_heads: TagMap<ListHead>,
+    wait_links: Vec<Link>,
+    /// Array rows still in the future, as `(row, tag)` records keyed by
+    /// row cycle. Records go stale only if the entry is squashed while
+    /// array-resident; the drain revalidates against the live entry.
+    due_wheel: Wheel<(Cycle, InstTag)>,
+    /// Due records the issue buffer could not absorb, sorted by
+    /// `(row, tag)` — the canonical admission order the old ordered-tree
+    /// prefix scan produced.
+    overdue: Vec<(Cycle, InstTag)>,
+    /// Occupancy of each still-populated row (`scheduled_at` → entries).
+    row_counts: TagMap<u32>,
     /// Predicted absolute cycle each architectural register's value is
     /// ready.
     reg_ready: Vec<Cycle>,
+    /// The most recent `tick` cycle (drain clock for the wheel).
+    last_now: Cycle,
     stats: IqStats,
     /// Cycles the array could not move a due row into the buffer.
     shift_stalls: u64,
     /// Buffer entries sent back to the array by the recirculation rule.
     recirculations: u64,
     /// Scratch buffers so the hot paths never allocate.
-    scratch: Vec<(Cycle, InstTag)>,
+    drain_scratch: Vec<(Cycle, InstTag)>,
     scratch_tags: Vec<InstTag>,
 }
 
@@ -121,16 +150,23 @@ impl PrescheduledIq {
     pub fn new(config: PrescheduleConfig) -> Self {
         PrescheduledIq {
             config,
-            entries: BTreeMap::new(),
-            array: BTreeSet::new(),
-            buffer: BTreeSet::new(),
-            waiters: BTreeSet::new(),
-            row_counts: BTreeMap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            by_tag: TagMap::new(),
+            buffer: Vec::new(),
+            waiter_heads: TagMap::new(),
+            wait_links: Vec::new(),
+            // One revolution comfortably covers the schedule horizon, so
+            // in-horizon records never wait out a lap.
+            due_wheel: Wheel::new(2 * config.num_lines),
+            overdue: Vec::new(),
+            row_counts: TagMap::new(),
             reg_ready: vec![0; NUM_ARCH_REGS],
+            last_now: 0,
             stats: IqStats::default(),
             shift_stalls: 0,
             recirculations: 0,
-            scratch: Vec::new(),
+            drain_scratch: Vec::new(),
             scratch_tags: Vec::new(),
         }
     }
@@ -159,29 +195,76 @@ impl PrescheduledIq {
         self.buffer.len()
     }
 
-    /// Moves an array entry into the issue buffer.
+    /// The live entry holding `tag`, if resident.
+    fn entry(&self, tag: InstTag) -> Option<&Entry> {
+        self.by_tag.get(tag.0).map(|slot| &self.slots[slot as usize])
+    }
+
+    /// Stores `entry` in a free slab slot and returns the slot number,
+    /// growing the parallel waiter-link array alongside the slab.
+    // chainiq-analyze: hot
+    fn alloc_slot(&mut self, entry: Entry) -> u32 {
+        if let Some(s) = self.free_slots.pop() {
+            debug_assert!(!self.slots[s as usize].live);
+            self.slots[s as usize] = entry;
+            s
+        } else {
+            self.slots.push(entry);
+            self.wait_links.extend([Link::default(); 2]);
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Moves an array entry (already removed from `overdue` by the
+    /// caller) into the issue buffer.
     // chainiq-analyze: hot
     fn admit(&mut self, now: Cycle, sched: Cycle, tag: InstTag) {
-        self.array.remove(&(sched, tag));
-        self.buffer.insert(tag);
-        if let Some(e) = self.entries.get_mut(&tag) {
-            e.entered_buffer_at = now;
+        let Some(slot) = self.by_tag.get(tag.0) else {
+            debug_assert!(false, "due record names a non-resident tag");
+            return;
+        };
+        self.slots[slot as usize].entered_buffer_at = now;
+        if let Err(pos) = self.buffer.binary_search(&tag) {
+            self.buffer.insert(pos, tag);
+        } else {
+            debug_assert!(false, "tag is already buffered");
         }
-        let count = self.row_counts.entry(sched).or_default();
-        debug_assert!(*count > 0, "row count must track its entries");
-        *count = count.saturating_sub(1);
+        let count = self.row_counts.get(sched).unwrap_or(0);
+        debug_assert!(count > 0, "row count must track its entries");
+        if count <= 1 {
+            self.row_counts.remove(sched);
+        } else {
+            self.row_counts.insert(sched, count - 1);
+        }
     }
 
     /// Removes an issued (or squashed) entry from every index.
     // chainiq-analyze: hot
     fn remove_entry(&mut self, tag: InstTag) {
-        if let Some(e) = self.entries.remove(&tag) {
-            self.buffer.remove(&tag);
-            self.array.remove(&(e.scheduled_at, tag));
-            for o in e.ops.iter().flatten() {
-                self.waiters.remove(&(o.producer, tag));
+        let Some(slot) = self.by_tag.remove(tag.0) else { return };
+        let s = slot as usize;
+        debug_assert!(self.slots[s].live, "index points at a dead slot");
+        for k in 0..2u32 {
+            let Some(o) = self.slots[s].ops[k as usize] else { continue };
+            if let Some(head) = self.waiter_heads.get_mut(o.producer.0) {
+                slab_list::remove(head, &mut self.wait_links, 2 * slot + k);
+                if head.is_empty() {
+                    self.waiter_heads.remove(o.producer.0);
+                }
             }
         }
+        let e = &mut self.slots[s];
+        e.live = false;
+        if e.entered_buffer_at != Cycle::MAX {
+            if let Ok(pos) = self.buffer.binary_search(&tag) {
+                self.buffer.remove(pos);
+            }
+        } else {
+            // Squashed while array-resident: drop any slipped record; a
+            // wheel record goes stale and is dropped at drain time.
+            self.overdue.retain(|&(_, t)| t != tag);
+        }
+        self.free_slots.push(slot);
     }
 
     fn predicted_ready(&self, now: Cycle, info: &DispatchInfo) -> Cycle {
@@ -211,68 +294,88 @@ impl IssueQueue for PrescheduledIq {
     }
 
     fn occupancy(&self) -> usize {
-        self.entries.len()
+        self.by_tag.len()
     }
 
     // chainiq-analyze: hot
     fn tick(&mut self, now: Cycle, _execution_idle: bool) {
         self.stats.cycles += 1;
-        self.stats.occupancy_accum += self.entries.len() as u64;
+        self.stats.occupancy_accum += self.by_tag.len() as u64;
+        self.last_now = now;
 
-        // Move due array entries (oldest schedule first, then oldest age)
-        // into the issue buffer while it has space. The array index is
-        // ordered `(scheduled_at, tag)`, so the due set is a prefix range.
-        let mut space = self.config.issue_buffer_size - self.buffer.len();
-        let mut due = std::mem::take(&mut self.scratch);
-        due.clear();
-        due.extend(self.array.range(..=(now, InstTag(u64::MAX))).copied());
-        let mut admitted = 0;
-        let mut blocked = false;
-        for &(sched, tag) in &due {
-            if space == 0 {
-                blocked = true;
-                break;
+        // Pull newly due rows off the wheel into the slipped backlog; the
+        // sort restores the `(row, tag)` admission order the old ordered
+        // tree gave (recirculated records can arrive tag-out-of-order
+        // within a row).
+        let mut drained = std::mem::take(&mut self.drain_scratch);
+        drained.clear();
+        self.due_wheel.drain_into(now, &mut drained);
+        if !drained.is_empty() {
+            for &(sched, tag) in &drained {
+                let live = self.by_tag.get(tag.0).is_some_and(|slot| {
+                    let e = &self.slots[slot as usize];
+                    e.entered_buffer_at == Cycle::MAX && e.scheduled_at == sched
+                });
+                if live {
+                    self.overdue.push((sched, tag));
+                }
             }
-            self.admit(now, sched, tag);
-            admitted += 1;
-            space -= 1;
+            self.overdue.sort_unstable();
         }
+        self.drain_scratch = drained;
+
+        // Admit due entries (oldest row first, then oldest age) while the
+        // buffer has space.
+        let space = self.config.issue_buffer_size - self.buffer.len();
+        let admitted = space.min(self.overdue.len());
+        let blocked = self.overdue.len() > space;
+        for i in 0..admitted {
+            let (sched, tag) = self.overdue[i];
+            self.admit(now, sched, tag);
+        }
+        self.overdue.drain(..admitted);
         if blocked {
             self.shift_stalls += 1;
             // Recirculation: if nothing in the buffer is ready and an
             // older due instruction waits outside, swap it with the
             // youngest unready buffer entry so the machine cannot wedge.
-            let oldest_due = due[admitted..].iter().copied().min_by_key(|&(_, tag)| tag);
-            let buffer_has_ready = self.buffer.iter().any(|t| self.entries[t].ready(now));
-            if let Some((due_sched, due_tag)) = oldest_due {
-                let youngest_buf =
-                    self.buffer.iter().rev().copied().find(|t| !self.entries[t].ready(now));
+            let oldest_due =
+                self.overdue.iter().copied().enumerate().min_by_key(|&(_, (_, tag))| tag);
+            let buffer_has_ready =
+                self.buffer.iter().any(|&t| self.entry(t).is_some_and(|e| e.ready(now)));
+            if let Some((due_idx, (due_sched, due_tag))) = oldest_due {
+                let youngest_buf = self
+                    .buffer
+                    .iter()
+                    .rev()
+                    .copied()
+                    .find(|&t| self.entry(t).is_some_and(|e| !e.ready(now)));
                 if let Some(buf_tag) = youngest_buf {
                     if !buffer_has_ready && due_tag < buf_tag {
                         // Send the young unready entry back to the array,
                         // rescheduled one cycle out, and admit the older
                         // one.
-                        self.buffer.remove(&buf_tag);
-                        if let Some(e) = self.entries.get_mut(&buf_tag) {
-                            e.entered_buffer_at = Cycle::MAX;
-                            e.scheduled_at = now + 1;
+                        if let Ok(pos) = self.buffer.binary_search(&buf_tag) {
+                            self.buffer.remove(pos);
                         }
-                        self.array.insert((now + 1, buf_tag));
-                        *self.row_counts.entry(now + 1).or_default() += 1;
+                        let Some(slot) = self.by_tag.get(buf_tag.0) else { return };
+                        let e = &mut self.slots[slot as usize];
+                        e.entered_buffer_at = Cycle::MAX;
+                        e.scheduled_at = now + 1;
+                        self.due_wheel.schedule(now + 1, (now + 1, buf_tag));
+                        let count = self.row_counts.get(now + 1).unwrap_or(0);
+                        self.row_counts.insert(now + 1, count + 1);
+                        self.overdue.remove(due_idx);
                         self.admit(now, due_sched, due_tag);
                         self.recirculations += 1;
                     }
                 }
             }
         }
-        self.scratch = due;
-        // Prune empty row counters (rows in the past may still be
-        // occupied by slipped entries, so prune by count, not by time).
-        self.row_counts.retain(|_, v| *v > 0);
     }
 
     fn dispatch(&mut self, now: Cycle, info: DispatchInfo) -> Result<(), DispatchStall> {
-        if self.entries.len() >= self.config.capacity() {
+        if self.by_tag.len() >= self.config.capacity() {
             self.stats.stalls_full += 1;
             return Err(DispatchStall::QueueFull);
         }
@@ -281,8 +384,8 @@ impl IssueQueue for PrescheduledIq {
         let ready = self.predicted_ready(now, &info);
         let horizon = now + self.config.num_lines as u64;
         let first = ready.clamp(now + 1, horizon);
-        let Some(slot) = (first..=horizon)
-            .find(|c| self.row_counts.get(c).copied().unwrap_or(0) < self.config.line_width as u32)
+        let Some(row) = (first..=horizon)
+            .find(|&c| self.row_counts.get(c).unwrap_or(0) < self.config.line_width as u32)
         else {
             self.stats.stalls_full += 1;
             return Err(DispatchStall::QueueFull);
@@ -293,20 +396,32 @@ impl IssueQueue for PrescheduledIq {
             if let Some(s) = s {
                 if let Some(producer) = s.producer {
                     ops[i] = Some(DataOperand { producer, ready_at: s.known_ready_at });
-                    self.waiters.insert((producer, info.tag));
                 }
             }
         }
-        self.entries.insert(
-            info.tag,
-            Entry { op: info.op, ops, scheduled_at: slot, entered_buffer_at: Cycle::MAX },
-        );
-        self.array.insert((slot, info.tag));
-        *self.row_counts.entry(slot).or_default() += 1;
+        let slot = self.alloc_slot(Entry {
+            live: true,
+            tag: info.tag,
+            op: info.op,
+            ops,
+            scheduled_at: row,
+            entered_buffer_at: Cycle::MAX,
+        });
+        self.by_tag.insert(info.tag.0, slot);
+        for (k, o) in ops.iter().enumerate() {
+            if let Some(o) = o {
+                let mut head = self.waiter_heads.get(o.producer.0).unwrap_or(ListHead::EMPTY);
+                slab_list::push_back(&mut head, &mut self.wait_links, 2 * slot + k as u32);
+                self.waiter_heads.insert(o.producer.0, head);
+            }
+        }
+        self.due_wheel.schedule(row, (row, info.tag));
+        let count = self.row_counts.get(row).unwrap_or(0);
+        self.row_counts.insert(row, count + 1);
         if let Some(dest) = info.dest {
             // Quasi-static: the placement row, not actual behaviour,
             // determines the predicted completion.
-            self.set_reg_ready(dest, slot + self.produce_latency(info.op));
+            self.set_reg_ready(dest, row + self.produce_latency(info.op));
         }
         self.stats.dispatched += 1;
         Ok(())
@@ -316,16 +431,17 @@ impl IssueQueue for PrescheduledIq {
     fn select_issue(&mut self, now: Cycle, fus: &mut FuPool) -> Vec<IssuedInst> {
         let mut ready = std::mem::take(&mut self.scratch_tags);
         ready.clear();
-        ready.extend(self.buffer.iter().copied().filter(|t| {
-            let e = &self.entries[t];
-            e.entered_buffer_at < now && e.ready(now)
-        }));
+        ready.extend(
+            self.buffer.iter().copied().filter(|&t| {
+                self.entry(t).is_some_and(|e| e.entered_buffer_at < now && e.ready(now))
+            }),
+        );
         let mut issued = Vec::with_capacity(ready.len());
         for &tag in &ready {
             if fus.slots_left() == 0 {
                 break;
             }
-            let op = self.entries[&tag].op;
+            let Some(op) = self.entry(tag).map(|e| e.op) else { continue };
             if !fus.try_issue(now, op) {
                 continue;
             }
@@ -339,36 +455,48 @@ impl IssueQueue for PrescheduledIq {
 
     // chainiq-analyze: hot
     fn announce_ready(&mut self, producer: InstTag, ready_at: Cycle) {
-        let mut subs = std::mem::take(&mut self.scratch_tags);
-        subs.clear();
-        subs.extend(
-            self.waiters
-                .range((producer, InstTag(0))..=(producer, InstTag(u64::MAX)))
-                .map(|&(_, consumer)| consumer),
-        );
-        for tag in &subs {
-            if let Some(e) = self.entries.get_mut(tag) {
-                for o in e.ops.iter_mut().flatten() {
-                    if o.producer == producer {
-                        o.ready_at = Some(ready_at);
-                    }
-                }
+        let Some(head) = self.waiter_heads.get(producer.0) else { return };
+        let mut cur = head.head;
+        while cur != NIL {
+            let (slot, k) = ((cur / 2) as usize, (cur % 2) as usize);
+            if let Some(op) = self.slots[slot].ops[k].as_mut() {
+                debug_assert_eq!(op.producer, producer, "waiter node on the wrong producer list");
+                op.ready_at = Some(ready_at);
             }
+            cur = self.wait_links[cur as usize].next;
         }
-        self.scratch_tags = subs;
     }
 
     fn flush(&mut self) {
-        self.entries.clear();
-        self.array.clear();
+        self.slots.clear();
+        self.free_slots.clear();
+        self.by_tag.clear();
         self.buffer.clear();
-        self.waiters.clear();
+        self.waiter_heads.clear();
+        // Drop the slab-parallel link storage with the slab itself.
+        self.wait_links.clear();
+        self.due_wheel.reset(self.last_now);
+        self.overdue.clear();
         self.row_counts.clear();
         self.reg_ready.fill(0);
     }
 
     fn stats(&self) -> IqStats {
         self.stats
+    }
+}
+
+#[cfg(test)]
+impl PrescheduledIq {
+    /// The scheduling-array row (absolute cycle) `tag` was placed in.
+    fn sched_row(&self, tag: InstTag) -> Cycle {
+        self.entry(tag).expect("tag is resident").scheduled_at
+    }
+
+    /// Queued instructions whose placement row is `row` (regardless of
+    /// whether they have since moved into the issue buffer).
+    fn row_population(&self, row: Cycle) -> usize {
+        self.slots.iter().filter(|e| e.live && e.scheduled_at == row).count()
     }
 }
 
@@ -403,6 +531,8 @@ impl chainiq_ckpt::Pack for DataOperand {
 
 impl chainiq_ckpt::Pack for Entry {
     fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        self.live.pack(w);
+        self.tag.pack(w);
         self.op.pack(w);
         self.ops.pack(w);
         self.scheduled_at.pack(w);
@@ -411,6 +541,8 @@ impl chainiq_ckpt::Pack for Entry {
     fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
         use chainiq_ckpt::Pack;
         Ok(Entry {
+            live: Pack::unpack(r)?,
+            tag: Pack::unpack(r)?,
             op: Pack::unpack(r)?,
             ops: Pack::unpack(r)?,
             scheduled_at: Pack::unpack(r)?,
@@ -421,18 +553,22 @@ impl chainiq_ckpt::Pack for Entry {
 
 impl chainiq_ckpt::Snapshot for PrescheduledIq {
     const COMPONENT: &'static str = "baseline.preschedule";
-    const VERSION: u16 = 1;
+    const VERSION: u16 = 2;
 
-    /// The scratch buffers are transient (cleared before every use) and
-    /// are therefore not serialized; restore leaves them empty.
+    /// V2 serializes *canonical* state only: the slab (whose entries
+    /// carry residence, row and operand readiness), the free-list order
+    /// (canonical: allocation pops it LIFO), the drain clock, the
+    /// register timing table and the counters. Every index — the tag
+    /// map, the buffer order, the waiter lists, the due wheel, the
+    /// slipped backlog and the row counters — is a pure function of that
+    /// state and is rebuilt on restore. Scratch buffers are transient
+    /// (cleared before every use) and are not serialized.
     fn save(&self, w: &mut chainiq_ckpt::Writer) {
         use chainiq_ckpt::Pack;
         self.config.pack(w);
-        self.entries.pack(w);
-        self.array.pack(w);
-        self.buffer.pack(w);
-        self.waiters.pack(w);
-        self.row_counts.pack(w);
+        self.slots.pack(w);
+        self.free_slots.pack(w);
+        self.last_now.pack(w);
         self.reg_ready.pack(w);
         self.stats.pack(w);
         self.shift_stalls.pack(w);
@@ -447,75 +583,100 @@ impl chainiq_ckpt::Snapshot for PrescheduledIq {
         if config != self.config {
             return Err(corrupt("prescheduled IQ config differs from the running queue"));
         }
-        let entries: BTreeMap<InstTag, Entry> = Pack::unpack(r)?;
-        let array: BTreeSet<(Cycle, InstTag)> = Pack::unpack(r)?;
-        let buffer: BTreeSet<InstTag> = Pack::unpack(r)?;
-        let waiters: BTreeSet<(InstTag, InstTag)> = Pack::unpack(r)?;
-        let row_counts: BTreeMap<Cycle, u32> = Pack::unpack(r)?;
+        let slots: Vec<Entry> = Pack::unpack(r)?;
+        let free_slots: Vec<u32> = Pack::unpack(r)?;
+        let last_now: Cycle = Pack::unpack(r)?;
         let reg_ready: Vec<Cycle> = Pack::unpack(r)?;
         let stats: IqStats = Pack::unpack(r)?;
         let shift_stalls: u64 = Pack::unpack(r)?;
         let recirculations: u64 = Pack::unpack(r)?;
-        if entries.len() > config.capacity() {
-            return Err(corrupt("prescheduled IQ occupancy exceeds its capacity"));
-        }
         if reg_ready.len() != NUM_ARCH_REGS {
             return Err(corrupt("prescheduled IQ register timing table has the wrong shape"));
         }
-        if buffer.len() > config.issue_buffer_size {
+        let live = slots.iter().filter(|e| e.live).count();
+        if live > config.capacity() {
+            return Err(corrupt("prescheduled IQ occupancy exceeds its capacity"));
+        }
+        // The free list must cover exactly the dead slots, each once.
+        let mut on_free = vec![false; slots.len()];
+        for &s in &free_slots {
+            if slots.get(s as usize).is_none_or(|e| e.live) {
+                return Err(corrupt("free list points at a live slab slot"));
+            }
+            if std::mem::replace(&mut on_free[s as usize], true) {
+                return Err(corrupt("free list repeats a slab slot"));
+            }
+        }
+        if slots.iter().zip(&on_free).any(|(e, &f)| !e.live && !f) {
+            return Err(corrupt("dead slab slot missing from the free list"));
+        }
+        let horizon = last_now + config.num_lines as u64;
+        let mut buffered = 0usize;
+        for e in slots.iter().filter(|e| e.live) {
+            if e.entered_buffer_at == Cycle::MAX {
+                // Array-resident: recirculation reschedules at most one
+                // cycle out, dispatch at most a horizon out.
+                if e.scheduled_at > horizon {
+                    return Err(corrupt("prescheduled IQ row lies beyond the schedule horizon"));
+                }
+            } else {
+                if e.entered_buffer_at > last_now {
+                    return Err(corrupt("prescheduled IQ buffer admission lies in the future"));
+                }
+                buffered += 1;
+            }
+        }
+        if buffered > config.issue_buffer_size {
             return Err(corrupt("prescheduled IQ issue buffer overflows its size"));
         }
-        // Every entry lives in exactly one of the two indexes: the array
-        // (keyed by its scheduled row) or the issue buffer.
-        if array.len() + buffer.len() != entries.len() {
-            return Err(corrupt("prescheduled IQ indexes disagree with its entries"));
+
+        // Rebuild every index from the slab. Buffer order and the
+        // slipped backlog are tag-/row-sorted (canonical); waiter-list
+        // and wheel-bucket orders are immaterial (announces are
+        // idempotent and the backlog sort canonicalizes drain order), so
+        // slot-order rebuilds are exact.
+        self.by_tag = TagMap::new();
+        self.buffer.clear();
+        self.waiter_heads = TagMap::new();
+        self.wait_links = vec![Link::default(); 2 * slots.len()];
+        self.due_wheel.reset(last_now);
+        self.overdue.clear();
+        self.row_counts = TagMap::new();
+        for (s, e) in slots.iter().enumerate().filter(|(_, e)| e.live) {
+            let slot = s as u32;
+            if self.by_tag.get(e.tag.0).is_some() {
+                return Err(corrupt("prescheduled IQ slab repeats a tag"));
+            }
+            self.by_tag.insert(e.tag.0, slot);
+            for (k, o) in e.ops.iter().enumerate() {
+                if let Some(o) = o {
+                    let mut head = self.waiter_heads.get(o.producer.0).unwrap_or(ListHead::EMPTY);
+                    slab_list::push_back(&mut head, &mut self.wait_links, 2 * slot + k as u32);
+                    self.waiter_heads.insert(o.producer.0, head);
+                }
+            }
+            if e.entered_buffer_at != Cycle::MAX {
+                self.buffer.push(e.tag);
+            } else {
+                if e.scheduled_at > last_now {
+                    self.due_wheel.schedule(e.scheduled_at, (e.scheduled_at, e.tag));
+                } else {
+                    self.overdue.push((e.scheduled_at, e.tag));
+                }
+                let count = self.row_counts.get(e.scheduled_at).unwrap_or(0);
+                self.row_counts.insert(e.scheduled_at, count + 1);
+            }
         }
-        let array_consistent = array.iter().all(|&(sched, tag)| {
-            entries
-                .get(&tag)
-                .map(|e| e.scheduled_at == sched && e.entered_buffer_at == Cycle::MAX)
-                .unwrap_or(false)
-        });
-        if !array_consistent {
-            return Err(corrupt("prescheduled IQ array index points at a missing entry"));
-        }
-        let buffer_consistent = buffer.iter().all(|tag| {
-            entries.get(tag).map(|e| e.entered_buffer_at != Cycle::MAX).unwrap_or(false)
-        });
-        if !buffer_consistent {
-            return Err(corrupt("prescheduled IQ buffer index points at a missing entry"));
-        }
-        let waiters_consistent = waiters.iter().all(|&(producer, consumer)| {
-            entries
-                .get(&consumer)
-                .map(|e| e.ops.iter().flatten().any(|o| o.producer == producer))
-                .unwrap_or(false)
-        });
-        if !waiters_consistent {
-            return Err(corrupt("prescheduled IQ wakeup subscriptions disagree with its entries"));
-        }
-        // Row counters must track the array residents exactly (a row
-        // drained to zero may linger until the next tick prunes it).
-        let mut recomputed: BTreeMap<Cycle, u32> = BTreeMap::new();
-        for &(sched, _) in &array {
-            *recomputed.entry(sched).or_default() += 1;
-        }
-        let rows_consistent =
-            row_counts.iter().all(|(row, &n)| n == recomputed.get(row).copied().unwrap_or(0))
-                && recomputed.keys().all(|row| row_counts.contains_key(row));
-        if !rows_consistent {
-            return Err(corrupt("prescheduled IQ row counters disagree with its array"));
-        }
-        self.entries = entries;
-        self.array = array;
-        self.buffer = buffer;
-        self.waiters = waiters;
-        self.row_counts = row_counts;
+        self.buffer.sort_unstable();
+        self.overdue.sort_unstable();
+        self.slots = slots;
+        self.free_slots = free_slots;
+        self.last_now = last_now;
         self.reg_ready = reg_ready;
         self.stats = stats;
         self.shift_stalls = shift_stalls;
         self.recirculations = recirculations;
-        self.scratch.clear();
+        self.drain_scratch.clear();
         self.scratch_tags.clear();
         Ok(())
     }
@@ -569,8 +730,8 @@ mod tests {
             DispatchInfo::compute(InstTag(1), OpClass::IntAlu, ArchReg::int(2), &[dep(1, 0)]),
         )
         .unwrap();
-        let load_row = iq.entries[&InstTag(0)].scheduled_at;
-        let dep_row = iq.entries[&InstTag(1)].scheduled_at;
+        let load_row = iq.sched_row(InstTag(0));
+        let dep_row = iq.sched_row(InstTag(1));
         assert_eq!(dep_row, load_row + 4, "consumer sits a predicted load latency behind");
     }
 
@@ -608,9 +769,8 @@ mod tests {
             )
             .unwrap();
         }
-        let first_row = iq.entries[&InstTag(0)].scheduled_at;
-        let spilled = iq.entries.values().filter(|e| e.scheduled_at == first_row + 1).count();
-        assert_eq!(spilled, 3, "12 fit the first row, 3 spill");
+        let first_row = iq.sched_row(InstTag(0));
+        assert_eq!(iq.row_population(first_row + 1), 3, "12 fit the first row, 3 spill");
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Chain identifiers, the chain-wire allocator, and in-flight wire
 //! signals.
-
-use std::collections::BTreeMap;
+// chainiq-analyze: hot-path
 
 use chainiq_isa::Cycle;
 
 use crate::tag::InstTag;
+use crate::tagmap::TagMap;
 
 /// A reference to an allocated chain wire.
 ///
@@ -102,8 +102,10 @@ struct ChainSlot {
 pub(crate) struct ChainTable {
     slots: Vec<ChainSlot>,
     free: Vec<u32>,
-    /// Live chains by head tag (a head owns at most one chain).
-    by_head: BTreeMap<InstTag, u32>,
+    /// Live chains by head tag (a head owns at most one chain) — a flat
+    /// probed map, not a tree: head lookup sits on the issue/miss/fill
+    /// paths.
+    by_head: TagMap<u32>,
     limit: Option<usize>,
     live: usize,
     stats: ChainStats,
@@ -114,11 +116,17 @@ impl ChainTable {
         ChainTable {
             slots: Vec::new(),
             free: Vec::new(),
-            by_head: BTreeMap::new(),
+            by_head: TagMap::new(),
             limit,
             live: 0,
             stats: ChainStats::default(),
         }
+    }
+
+    /// Number of wire slots ever allocated (live or recyclable) — the
+    /// id space the queue's follower lists are indexed by.
+    pub(crate) fn wire_count(&self) -> usize {
+        self.slots.len()
     }
 
     /// Number of chains currently live.
@@ -170,13 +178,14 @@ impl ChainTable {
             self.stats.dual_dep_heads += 1;
         }
         self.stats.peak_live = self.stats.peak_live.max(self.live);
-        self.by_head.insert(head, id);
+        self.by_head.insert(head.0, id);
         Some(ChainRef { id, gen: self.slots[id as usize].gen })
     }
 
     /// Releases the chain headed by `tag`, if one is live.
+    // chainiq-analyze: hot
     pub(crate) fn release_by_head(&mut self, tag: InstTag) {
-        if let Some(id) = self.by_head.remove(&tag) {
+        if let Some(id) = self.by_head.remove(tag.0) {
             let slot = &mut self.slots[id as usize];
             debug_assert!(slot.live && slot.head == tag);
             slot.live = false;
@@ -211,8 +220,9 @@ impl ChainTable {
     }
 
     /// Finds the live chain headed by `tag`, if any.
+    // chainiq-analyze: hot
     pub(crate) fn chain_of_head(&self, tag: InstTag) -> Option<ChainRef> {
-        self.by_head.get(&tag).map(|&id| ChainRef { id, gen: self.slots[id as usize].gen })
+        self.by_head.get(tag.0).map(|id| ChainRef { id, gen: self.slots[id as usize].gen })
     }
 }
 
@@ -301,9 +311,10 @@ impl chainiq_ckpt::Pack for ChainSlot {
 
 impl chainiq_ckpt::Pack for ChainTable {
     fn pack(&self, w: &mut chainiq_ckpt::Writer) {
+        // Canonical state only; the head-lookup map is rebuilt from the
+        // live slots on unpack, so images stay layout-stable.
         self.slots.pack(w);
         self.free.pack(w);
-        self.by_head.pack(w);
         self.limit.pack(w);
         self.live.pack(w);
         self.stats.pack(w);
@@ -312,7 +323,6 @@ impl chainiq_ckpt::Pack for ChainTable {
         use chainiq_ckpt::Pack;
         let slots: Vec<ChainSlot> = Pack::unpack(r)?;
         let free: Vec<u32> = Pack::unpack(r)?;
-        let by_head: std::collections::BTreeMap<InstTag, u32> = Pack::unpack(r)?;
         let limit: Option<usize> = Pack::unpack(r)?;
         let live: usize = Pack::unpack(r)?;
         let stats: ChainStats = Pack::unpack(r)?;
@@ -321,7 +331,7 @@ impl chainiq_ckpt::Pack for ChainTable {
         if limit.is_some_and(|l| slots.len() > l) {
             return Err(corrupt("chain table exceeds its wire limit"));
         }
-        if live != slots.iter().filter(|s| s.live).count() || live != by_head.len() {
+        if live != slots.iter().filter(|s| s.live).count() {
             return Err(corrupt("chain table live-count mismatch"));
         }
         if free.len() != slots.len() - live
@@ -329,10 +339,14 @@ impl chainiq_ckpt::Pack for ChainTable {
         {
             return Err(corrupt("chain table free list inconsistent"));
         }
-        for (&head, &id) in &by_head {
-            if slots.get(id as usize).is_none_or(|s| !s.live || s.head != head) {
-                return Err(corrupt("chain table head index inconsistent"));
+        let mut by_head = TagMap::new();
+        for (id, slot) in slots.iter().enumerate() {
+            if slot.live {
+                by_head.insert(slot.head.0, id as u32);
             }
+        }
+        if by_head.len() != live {
+            return Err(corrupt("chain table holds duplicate live heads"));
         }
         Ok(ChainTable { slots, free, by_head, limit, live, stats })
     }

@@ -71,13 +71,17 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod bitset;
 mod chain;
 mod fu;
 mod queue;
 mod regtable;
 mod segmented;
+pub mod slab_list;
 mod stats;
 mod tag;
+mod tagmap;
+mod wheel;
 
 pub use chain::{ChainRef, ChainStats};
 pub use fu::FuPool;
@@ -85,3 +89,5 @@ pub use queue::{IqStats, IssueQueue, IssuedInst};
 pub use segmented::{SegmentedIq, SegmentedIqConfig};
 pub use stats::SegmentedStats;
 pub use tag::{DispatchInfo, DispatchStall, InstTag, OperandPick, SrcOperand};
+pub use tagmap::TagMap;
+pub use wheel::Wheel;

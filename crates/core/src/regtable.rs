@@ -7,6 +7,7 @@
 //! listens to the chain wires exactly as queue entries do — at the top of
 //! the wire pipeline, so its view lags the bottom segments by the wire
 //! delay, as in the hardware.
+// chainiq-analyze: hot-path
 
 use chainiq_isa::{ArchReg, NUM_ARCH_REGS};
 
@@ -62,18 +63,25 @@ impl RegSched {
 
 /// The register information table.
 ///
-/// A flat per-register array. The table is small (one slot per
-/// architectural register) and its per-cycle paths sweep it linearly —
-/// the contiguous scan is measurably cheaper than maintaining chain or
-/// countdown indexes over it (see DESIGN.md §9).
+/// A flat per-register array plus a one-word *active mask* of the
+/// entries that are not `Available`. The per-cycle paths (countdown
+/// tick, chain-signal delivery) walk only the set bits — in steady state
+/// a handful of registers are in flight, so the sweep the v2 kernel paid
+/// on all `NUM_ARCH_REGS` slots every cycle collapses to a popcount
+/// loop (see DESIGN.md §9).
 #[derive(Debug, Clone)]
 pub(crate) struct RegInfoTable {
     entries: Vec<RegSched>,
+    /// Bit `i` set ⟺ `entries[i]` is not `Available`.
+    active: u64,
 }
+
+// The active mask is a single machine word.
+const _: () = assert!(NUM_ARCH_REGS <= 64);
 
 impl RegInfoTable {
     pub(crate) fn new() -> Self {
-        RegInfoTable { entries: vec![RegSched::Available; NUM_ARCH_REGS] }
+        RegInfoTable { entries: vec![RegSched::Available; NUM_ARCH_REGS], active: 0 }
     }
 
     pub(crate) fn get(&self, reg: ArchReg) -> RegSched {
@@ -81,15 +89,26 @@ impl RegInfoTable {
     }
 
     pub(crate) fn set(&mut self, reg: ArchReg, sched: RegSched) {
-        self.entries[reg.index()] = sched;
+        let i = reg.index();
+        self.entries[i] = sched;
+        if matches!(sched, RegSched::Available) {
+            self.active &= !(1u64 << i);
+        } else {
+            self.active |= 1u64 << i;
+        }
     }
 
     /// Applies a chain-wire signal that reached the top of the queue to
     /// every register listening on its chain.
     // chainiq-analyze: hot
     pub(crate) fn apply_signal(&mut self, sig: WireSignal) {
-        for e in &mut self.entries {
-            if let RegSched::OnChain { chain, head_loc, self_timed, suspended, .. } = e {
+        let mut m = self.active;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if let RegSched::OnChain { chain, head_loc, self_timed, suspended, .. } =
+                &mut self.entries[i]
+            {
                 if *chain == sig.chain {
                     match sig.kind {
                         SignalKind::Pulse => {
@@ -113,7 +132,11 @@ impl RegInfoTable {
     /// first (suspends take effect before the decrement they gate).
     // chainiq-analyze: hot
     pub(crate) fn tick(&mut self) {
-        for e in &mut self.entries {
+        let mut m = self.active;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let e = &mut self.entries[i];
             *e = match *e {
                 RegSched::Countdown { remaining } => {
                     let r = remaining - 1;
@@ -145,12 +168,16 @@ impl RegInfoTable {
                 }
                 other => other,
             };
+            if matches!(e, RegSched::Available) {
+                self.active &= !(1u64 << i);
+            }
         }
     }
 
     /// Resets every entry (pipeline flush).
     pub(crate) fn reset(&mut self) {
         self.entries.fill(RegSched::Available);
+        self.active = 0;
     }
 }
 
@@ -203,7 +230,13 @@ impl chainiq_ckpt::Pack for RegInfoTable {
                 context: format!("register table holds {} entries", entries.len()),
             });
         }
-        Ok(RegInfoTable { entries })
+        let mut active = 0u64;
+        for (i, e) in entries.iter().enumerate() {
+            if !matches!(e, RegSched::Available) {
+                active |= 1u64 << i;
+            }
+        }
+        Ok(RegInfoTable { entries, active })
     }
 }
 

@@ -2,25 +2,43 @@
 //!
 //! # Kernel data structures (DESIGN.md §9)
 //!
-//! The kernel splits the per-cycle work by *density*. Sparse events —
-//! chain-wire signals and wakeup announcements — are delivered through
-//! indexes (per-segment follower lists, a producer→consumer waiter set)
-//! instead of scanning whole segments. Dense state — self-timed
-//! countdowns and promotion eligibility, which change for most of the
-//! window every cycle — is swept linearly over contiguous storage:
-//! entries live in a slab (`slots`) addressed by per-segment tag-sorted
-//! vectors, so the sweeps are cache-resident. Readiness statistics come
-//! from per-segment counters maintained incrementally, not from
-//! recounting the window.
+//! The v3 kernel removes every per-cycle sweep and every ordered-tree
+//! operation from the cycle loop:
+//!
+//! - Entries live in a slab (`slots`); the per-segment age lists, the
+//!   per-(segment, wire) follower lists and the per-producer waiter
+//!   lists are *slab-intrusive* doubly-linked lists threaded through
+//!   `u32` prev/next arrays beside the slab — attach, detach and
+//!   promotion are O(1) splices ([`crate::slab_list`]).
+//! - Self-timed countdowns are *virtual*: an operand stores its
+//!   countdown base and the cycle it started ticking (`since`); the
+//!   current value is computed on read against `countdown_epoch`, the
+//!   cycle whose decrement has logically happened. The old
+//!   whole-window decrement sweep is gone.
+//! - Promotion eligibility is a per-segment bitset over slab slots,
+//!   updated incrementally: signal deliveries recompute the target's
+//!   bit, and pure time passage is handled by a *crossing wheel* — the
+//!   cycle a ticking entry's delay value first drops below its
+//!   segment's threshold is computed in closed form and scheduled on a
+//!   calendar queue ([`crate::wheel`]). A cycle with no crossings costs
+//!   one empty-bucket probe.
+//! - Future readiness records live on a second wheel instead of an
+//!   ordered set; matured records are revalidated against the live
+//!   entry exactly as before.
 //!
 //! Every *write* path keeps the indexes coherent unconditionally; the
 //! `naive` flag only reroutes the *read* paths that have an indexed fast
-//! path through reference full scans, which is what the differential
-//! tests compare against.
-
-use std::collections::BTreeSet;
+//! path through reference full scans (signal delivery, wakeup targeting,
+//! ready statistics, deadlock probing, and promotion eligibility), which
+//! is what the differential tests compare against.
+// chainiq-analyze: hot-path
 
 use chainiq_isa::{Cycle, OpClass};
+
+use crate::bitset::BitSet;
+use crate::slab_list::{self, Link, ListHead, NIL};
+use crate::tagmap::TagMap;
+use crate::wheel::Wheel;
 
 use crate::chain::{ChainRef, ChainTable, SignalKind, WireSignal};
 use crate::fu::FuPool;
@@ -128,11 +146,19 @@ impl SegmentedIqConfig {
 /// entry's delay value. The delay value of §3.1 is `2 * head_loc +
 /// rel_latency`; pulses decrement `head_loc`, self-timed mode decrements
 /// `rel_latency` every unsuspended cycle.
+///
+/// The countdown is *virtual*: `rel_latency` is the base value as of
+/// cycle `since`, and the current value is `base - (epoch - since)`
+/// (floored at zero) whenever the operand is ticking (`self_timed` and
+/// not `suspended`). Suspends materialize the elapsed time into the
+/// base; resumes and the self-timed transition restart `since` at the
+/// current epoch. No per-cycle mutation ever touches the operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct SchedOperand {
     /// Chain listened to, if any (`None` = pure countdown).
     chain: Option<ChainRef>,
-    /// Expected cycles from head issue to operand availability.
+    /// Countdown base: expected cycles from head issue to operand
+    /// availability, as of cycle `since` while ticking.
     rel_latency: i64,
     /// Head's segment as last observed by this entry.
     head_loc: i64,
@@ -140,33 +166,74 @@ struct SchedOperand {
     self_timed: bool,
     /// Countdown frozen by a miss (§3.4).
     suspended: bool,
+    /// The cycle `rel_latency` is relative to: the countdown has been
+    /// decremented for every tick in `(since, epoch]`.
+    since: Cycle,
 }
 
 impl SchedOperand {
-    fn delay(&self) -> i64 {
-        2 * self.head_loc.max(0) + self.rel_latency.max(0)
+    fn ticking(&self) -> bool {
+        self.self_timed && !self.suspended
     }
 
-    fn apply(&mut self, kind: SignalKind) {
+    /// Remaining relative latency as of `epoch`.
+    // chainiq-analyze: hot
+    #[inline]
+    fn rel_at(&self, epoch: Cycle) -> i64 {
+        if self.ticking() {
+            (self.rel_latency - epoch.saturating_sub(self.since) as i64).max(0)
+        } else {
+            self.rel_latency.max(0)
+        }
+    }
+
+    /// §3.1 delay value as of `epoch`.
+    // chainiq-analyze: hot
+    #[inline]
+    fn delay_at(&self, epoch: Cycle) -> i64 {
+        2 * self.head_loc.max(0) + self.rel_at(epoch)
+    }
+
+    /// Applies a chain-wire signal at `epoch`, materializing the virtual
+    /// countdown so the (re)started clock is measured from `epoch`.
+    /// Returns whether any state changed — a pulse on an already
+    /// self-timed operand, a suspend while suspended or a resume while
+    /// running are all no-ops, and the caller can skip the eligibility
+    /// recompute for them.
+    // chainiq-analyze: hot
+    fn apply_at(&mut self, kind: SignalKind, epoch: Cycle) -> bool {
         match kind {
             SignalKind::Pulse => {
-                if !self.self_timed {
-                    if self.head_loc > 0 {
-                        self.head_loc -= 1;
-                    } else {
-                        self.self_timed = true;
-                    }
+                if self.self_timed {
+                    return false;
+                }
+                if self.head_loc > 0 {
+                    self.head_loc -= 1;
+                } else {
+                    self.self_timed = true;
+                    self.since = epoch;
                 }
             }
-            SignalKind::Suspend => self.suspended = true,
-            SignalKind::Resume => self.suspended = false,
+            SignalKind::Suspend => {
+                if self.suspended {
+                    return false;
+                }
+                if self.ticking() {
+                    self.rel_latency = self.rel_at(epoch);
+                }
+                self.suspended = true;
+            }
+            SignalKind::Resume => {
+                if !self.suspended {
+                    return false;
+                }
+                if self.self_timed {
+                    self.since = epoch;
+                }
+                self.suspended = false;
+            }
         }
-    }
-
-    fn tick(&mut self) {
-        if self.self_timed && !self.suspended && self.rel_latency > 0 {
-            self.rel_latency -= 1;
-        }
+        true
     }
 }
 
@@ -203,8 +270,9 @@ struct Entry {
 }
 
 impl Entry {
-    fn delay(&self) -> i64 {
-        self.sched_ops.iter().flatten().map(SchedOperand::delay).max().unwrap_or(0)
+    // chainiq-analyze: hot
+    fn delay_at(&self, epoch: Cycle) -> i64 {
+        self.sched_ops.iter().flatten().map(|op| op.delay_at(epoch)).max().unwrap_or(0)
     }
 
     fn compute_ready_cache(&self) -> Option<Cycle> {
@@ -222,50 +290,110 @@ impl Entry {
         self.ready_cache.is_some_and(|c| c <= now)
     }
 
-    fn apply_signal(&mut self, sig: WireSignal) {
+    /// Applies a signal to every operand subscribed to `chain`; reports
+    /// whether any of them actually changed state.
+    // chainiq-analyze: hot
+    fn apply_signal_at(&mut self, chain: ChainRef, kind: SignalKind, epoch: Cycle) -> bool {
+        let mut changed = false;
         for op in self.sched_ops.iter_mut().flatten() {
-            if op.chain == Some(sig.chain) {
-                op.apply(sig.kind);
+            if op.chain == Some(chain) {
+                changed |= op.apply_at(kind, epoch);
             }
         }
+        changed
+    }
+
+    /// The first cycle at which this entry's delay value drops below
+    /// `th` through pure time passage (every constraining operand is
+    /// ticking), or `None` if only a future signal can get it there.
+    /// The result depends only on each operand's `(since, base)` pair —
+    /// not on when it is computed — which is what makes the scheduled
+    /// crossings reproducible across snapshot restore.
+    // chainiq-analyze: hot
+    fn crossing_at(&self, th: i64, epoch: Cycle) -> Option<Cycle> {
+        let mut latest: Option<Cycle> = None;
+        for op in self.sched_ops.iter().flatten() {
+            if op.delay_at(epoch) < th {
+                continue; // already below: does not constrain the max
+            }
+            if !op.ticking() {
+                return None;
+            }
+            let h2 = 2 * op.head_loc.max(0);
+            if h2 >= th {
+                return None; // only a pulse can lower the head term
+            }
+            // Need h2 + (base - (e - since)) < th; the remaining
+            // latency is still positive up to the crossing, so the
+            // floor never engages before it: e* = since + base - (th -
+            // 1 - h2). `delay >= th` at `epoch` guarantees e* > epoch.
+            let e_star = op.since + (op.rel_latency - (th - 1 - h2)) as u64;
+            latest = Some(latest.map_or(e_star, |l| l.max(e_star)));
+        }
+        latest
     }
 }
 
-/// Inserts `(tag, slot)` into a tag-sorted segment list.
-// chainiq-analyze: hot
-fn seg_insert(list: &mut Vec<(InstTag, u32)>, tag: InstTag, slot: u32) {
-    let i = list.partition_point(|&(t, _)| t < tag);
-    list.insert(i, (tag, slot));
+/// No pending eligibility recheck for a slot.
+const NO_RECHECK: Cycle = Cycle::MAX;
+
+/// A signal parked in a climb bucket. Its visible segment is implicit —
+/// always the index of the bucket holding it (an invariant of the climb:
+/// asserts push at their own segment and a hop moves whole buckets one
+/// step up) — so only the payload is stored, and a hop never rewrites
+/// the signals it moves. Serialization materializes the segment to keep
+/// the checkpoint format unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BufSig {
+    chain: ChainRef,
+    kind: SignalKind,
 }
 
-/// Removes `tag` from a tag-sorted segment list, if present.
+/// Splices `slot` into a tag-ordered segment age list, scanning from the
+/// tail backward. Dispatch and promotion feed mostly-increasing tags, so
+/// the scan almost always stops at the tail. The probe reads the dense
+/// tag mirror, not the slab — a long scan stays inside a few cache
+/// lines instead of striding across full entries.
 // chainiq-analyze: hot
-fn seg_remove(list: &mut Vec<(InstTag, u32)>, tag: InstTag) {
-    let i = list.partition_point(|&(t, _)| t < tag);
-    if i < list.len() && list[i].0 == tag {
-        list.remove(i);
+fn seg_splice(h: &mut ListHead, links: &mut [Link], tags: &[InstTag], tag: InstTag, slot: u32) {
+    let mut after = h.tail;
+    while after != NIL && tags[after as usize] > tag {
+        after = links[after as usize].prev;
     }
+    slab_list::insert_after(h, links, after, slot);
 }
 
-/// Inserts a chain subscription into a `(chain, tag)`-sorted follower
-/// list, deduplicating (an entry with both operands on one chain
-/// subscribes once, exactly as the set-based index did).
+/// `seg_splice` with a batch hint: `hint` is the previously spliced slot
+/// (or `NIL`), still resident in the same list. A promotion batch feeds
+/// ascending tags into a destination list whose tail is young dispatch
+/// traffic, so a tail-backward scan re-walks the same suffix for every
+/// pick; resuming forward from the previous pick's position makes the
+/// whole batch traverse that suffix once. Falls back to the tail scan
+/// whenever the hint does not precede the new tag (pushdown picks restart
+/// the tag order).
 // chainiq-analyze: hot
-fn fol_insert(list: &mut Vec<(ChainRef, InstTag, u32)>, chain: ChainRef, tag: InstTag, slot: u32) {
-    let i = list.partition_point(|&(c, t, _)| (c, t) < (chain, tag));
-    if i == list.len() || (list[i].0, list[i].1) != (chain, tag) {
-        list.insert(i, (chain, tag, slot));
+fn seg_splice_hinted(
+    h: &mut ListHead,
+    links: &mut [Link],
+    tags: &[InstTag],
+    tag: InstTag,
+    slot: u32,
+    hint: &mut u32,
+) {
+    if *hint != NIL && tags[*hint as usize] < tag {
+        let mut after = *hint;
+        loop {
+            let next = links[after as usize].next;
+            if next == NIL || tags[next as usize] > tag {
+                break;
+            }
+            after = next;
+        }
+        slab_list::insert_after(h, links, after, slot);
+    } else {
+        seg_splice(h, links, tags, tag, slot);
     }
-}
-
-/// Removes a chain subscription from a follower list, if present
-/// (idempotent, mirroring `fol_insert`'s dedup).
-// chainiq-analyze: hot
-fn fol_remove(list: &mut Vec<(ChainRef, InstTag, u32)>, chain: ChainRef, tag: InstTag) {
-    let i = list.partition_point(|&(c, t, _)| (c, t) < (chain, tag));
-    if i < list.len() && (list[i].0, list[i].1) == (chain, tag) {
-        list.remove(i);
-    }
+    *hint = slot;
 }
 
 /// The segmented instruction queue with chain-based promotion.
@@ -281,24 +409,69 @@ pub struct SegmentedIq {
     /// Entry slab: contiguous storage addressed by the slot numbers the
     /// per-segment lists and indexes carry. Slots are recycled LIFO.
     slots: Vec<Entry>,
+    /// Dense mirror of each slot's tag (meaningful for live slots only).
+    /// The age-list walks — splice probes and promotion picks — read
+    /// this instead of the wide slab entries, so a walk touches 8-byte
+    /// strides that stay cache-resident.
+    slot_tags: Vec<InstTag>,
     free_slots: Vec<u32>,
-    /// `(tag, slot)` per segment, tag-sorted (= age order); `segs[0]` is
-    /// the issue buffer, higher indices are closer to dispatch.
-    segs: Vec<Vec<(InstTag, u32)>>,
-    /// Per-segment chain subscriptions, `(chain, tag, slot)`-sorted — the
-    /// follower list a wire signal is delivered through.
-    followers: Vec<Vec<(ChainRef, InstTag, u32)>>,
-    /// Producer-to-consumer tuples for wakeup delivery: `(producer, tag,
-    /// slot)` for every data operand of every buffered entry.
-    waiters: BTreeSet<(InstTag, InstTag, u32)>,
+    /// Per-segment age-list heads, tag-ordered; index 0 is the issue
+    /// buffer, higher indices are closer to dispatch. The links live in
+    /// `seg_link`, one per slab slot.
+    seg_list: Vec<ListHead>,
+    seg_link: Vec<Link>,
+    /// Residents per segment (the lists don't know their own length).
+    seg_len: Vec<usize>,
+    /// Follower-list heads per `(segment, wire id)`: the entries of one
+    /// segment subscribed to one chain wire, in subscription order
+    /// (delivery is per-entry independent, so order is immaterial). The
+    /// inner vectors grow with the chain table's wire count.
+    fol_heads: Vec<Vec<ListHead>>,
+    /// Per-wire occupancy summary: bit `seg & 63` is set when
+    /// `fol_heads[seg][id]` is (or may be) non-empty. Most wires have
+    /// subscribers in at most one or two segments, so signal delivery
+    /// tests this one dense word instead of chasing the per-segment
+    /// list head for every hop of the climb. Bits are exact while
+    /// `num_segments <= 64`; beyond that, aliased segments only set
+    /// (never clear) their shared bit, degrading to a conservative
+    /// over-approximation — false positives walk an empty list.
+    fol_live: Vec<u64>,
+    /// Follower links; node id `2 * slot + k` is slot `slot`'s
+    /// subscription for scheduling operand `k`.
+    fol_links: Vec<Link>,
+    /// Exact chain subscribed per follower node. A signal is delivered
+    /// through a node only on an exact generation match, so a stale
+    /// subscriber of a recycled wire is skipped rather than double-hit.
+    fol_chain: Vec<ChainRef>,
+    /// Waiter-list heads per producer tag: the buffered data operands
+    /// waiting on that producer's wakeup announcement.
+    waiter_heads: TagMap<ListHead>,
+    /// Waiter links; node id `2 * slot + k` is slot `slot`'s data
+    /// operand `k` (one node per distinct producer per entry).
+    wait_links: Vec<Link>,
     /// Data-ready entries per segment, as of `last_now` (the entries with
     /// `counted` set).
     ready_count: Vec<u64>,
-    /// Entries whose readiness lies in the future: `(ready_at, tag,
-    /// slot)`, counted as the clock passes each `ready_at`. Records can
-    /// go stale (a later announce moved the readiness); the drain
-    /// revalidates against the live entry instead of erasing eagerly.
-    ready_future: BTreeSet<(Cycle, InstTag, u32)>,
+    /// Entries whose readiness lies in the future, on a calendar wheel
+    /// keyed by `ready_at`. Records can go stale (a later announce moved
+    /// the readiness); the drain revalidates against the live entry
+    /// instead of erasing eagerly.
+    ready_wheel: Wheel<(InstTag, u32)>,
+    /// Promotion-eligibility masks, one bitset over slab slots per
+    /// segment: bit set ⟺ the resident's delay value is below the
+    /// destination threshold. Maintained at attach/detach, at every
+    /// signal delivery, and by the crossing wheel for pure time passage.
+    elig: Vec<BitSet>,
+    /// Scheduled eligibility crossings: `(cycle, slot)` records drained
+    /// each tick. A record fires only if it still matches `recheck_at`.
+    crossings: Wheel<u32>,
+    /// Per-slot guard for `crossings` records: the cycle of the one
+    /// valid pending recheck, or [`NO_RECHECK`]. Detach and reschedule
+    /// invalidate stale wheel records by moving this aside.
+    recheck_at: Vec<Cycle>,
+    /// The cycle whose self-timed decrement has logically happened; all
+    /// delay-value reads are relative to this.
+    countdown_epoch: Cycle,
     /// The cycle the ready counters were last advanced to.
     last_now: Cycle,
     /// Free slots per segment as of the end of the previous cycle — the
@@ -309,7 +482,16 @@ pub struct SegmentedIq {
     /// consult only the buckets that can reach them, instead of scanning
     /// every signal in flight — the dominant cost under heavy chain
     /// traffic).
-    sig_bufs: Vec<Vec<WireSignal>>,
+    sig_bufs: Vec<Vec<BufSig>>,
+    /// Per-bucket summary of the chains with a signal in `sig_bufs[s]`:
+    /// bit `id mod 256` set for every buffered signal's wire. Promotion
+    /// and bypassed dispatch must replay the buckets they move past, but
+    /// a mover subscribes to at most two chains — the filter proves the
+    /// common "nothing here concerns you" case without scanning the
+    /// bucket. False positives (id aliasing) cost a wasted scan; false
+    /// negatives cannot happen.
+    sig_filter: Vec<[u64; 4]>,
+    /// Per-segment follower-wire summary, same 256-bit keying as
     chains: ChainTable,
     /// One register information table per hardware thread context,
     /// grown on demand (index = `DispatchInfo::thread`).
@@ -323,7 +505,9 @@ pub struct SegmentedIq {
     /// Scratch buffers so the per-cycle hot paths never allocate.
     scratch_pairs: Vec<(InstTag, u32)>,
     scratch_picks: Vec<(InstTag, u32)>,
-    scratch_sigs: Vec<WireSignal>,
+    scratch_wake: Vec<(InstTag, u32)>,
+    scratch_cross: Vec<u32>,
+    scratch_slots: Vec<u32>,
     /// Route the read paths through the reference full scans instead of
     /// the indexes (the write paths maintain the indexes either way).
     /// Differential testing only; never set in production.
@@ -342,15 +526,27 @@ impl SegmentedIq {
         SegmentedIq {
             config,
             slots: Vec::with_capacity(config.capacity()),
+            slot_tags: Vec::with_capacity(config.capacity()),
             free_slots: Vec::new(),
-            segs: vec![Vec::with_capacity(config.segment_size); config.num_segments],
-            followers: vec![Vec::with_capacity(2 * config.segment_size); config.num_segments],
-            waiters: BTreeSet::new(),
+            seg_list: vec![ListHead::EMPTY; config.num_segments],
+            seg_link: Vec::new(),
+            seg_len: vec![0; config.num_segments],
+            fol_heads: vec![Vec::new(); config.num_segments],
+            fol_live: Vec::new(),
+            fol_links: Vec::new(),
+            fol_chain: Vec::new(),
+            waiter_heads: TagMap::new(),
+            wait_links: Vec::new(),
             ready_count: vec![0; config.num_segments],
-            ready_future: BTreeSet::new(),
+            ready_wheel: Wheel::new(64),
+            elig: vec![BitSet::new(); config.num_segments],
+            crossings: Wheel::new(64),
+            recheck_at: Vec::new(),
+            countdown_epoch: 0,
             last_now: 0,
             free_prev: vec![config.segment_size; config.num_segments],
             sig_bufs: vec![Vec::new(); config.num_segments],
+            sig_filter: vec![[0u64; 4]; config.num_segments],
             chains: ChainTable::new(config.max_chains),
             regs: vec![RegInfoTable::new()],
             stats: SegmentedStats::default(),
@@ -358,7 +554,9 @@ impl SegmentedIq {
             progress_last_cycle: true,
             scratch_pairs: Vec::new(),
             scratch_picks: Vec::new(),
-            scratch_sigs: Vec::new(),
+            scratch_wake: Vec::new(),
+            scratch_cross: Vec::new(),
+            scratch_slots: Vec::new(),
             naive: false,
         }
     }
@@ -398,26 +596,20 @@ impl SegmentedIq {
     /// Panics if `k` is out of range.
     #[must_use]
     pub fn segment_len(&self, k: usize) -> usize {
-        self.segs[k].len()
+        self.seg_len[k]
     }
 
     /// Finds the slab slot holding `tag`, if buffered (test and
     /// visualization paths; the hot paths carry slots directly).
     fn find_slot(&self, tag: InstTag) -> Option<u32> {
-        for list in &self.segs {
-            let i = list.partition_point(|&(t, _)| t < tag);
-            if i < list.len() && list[i].0 == tag {
-                return Some(list[i].1);
-            }
-        }
-        None
+        self.slots.iter().position(|e| e.live && e.tag == tag).map(|s| s as u32)
     }
 
     /// The current delay value of the queued instruction `tag`, if it is
     /// still buffered (primarily for tests and visualization).
     #[must_use]
     pub fn delay_of(&self, tag: InstTag) -> Option<i64> {
-        self.find_slot(tag).map(|s| self.slots[s as usize].delay())
+        self.find_slot(tag).map(|s| self.slots[s as usize].delay_at(self.countdown_epoch))
     }
 
     /// The segment currently holding `tag`, if buffered.
@@ -431,70 +623,229 @@ impl SegmentedIq {
     }
 
     fn free(&self, k: usize) -> usize {
-        self.config.segment_size - self.segs[k].len()
+        self.config.segment_size - self.seg_len[k]
     }
 
-    /// Stores `entry` in a free slab slot and returns the slot number.
+    /// Stores `entry` in a free slab slot and returns the slot number,
+    /// growing the parallel link/guard arrays alongside the slab.
     // chainiq-analyze: hot
     fn alloc_slot(&mut self, entry: Entry) -> u32 {
+        let tag = entry.tag;
         if let Some(s) = self.free_slots.pop() {
             debug_assert!(!self.slots[s as usize].live);
             self.slots[s as usize] = entry;
+            self.slot_tags[s as usize] = tag;
             s
         } else {
             self.slots.push(entry);
-            (self.slots.len() - 1) as u32
+            self.slot_tags.push(tag);
+            self.seg_link.push(Link::default());
+            self.fol_links.extend([Link::default(); 2]);
+            self.fol_chain.extend([ChainRef { id: 0, gen: 0 }; 2]);
+            self.wait_links.extend([Link::default(); 2]);
+            self.recheck_at.push(NO_RECHECK);
+            let n = self.slots.len();
+            for b in &mut self.elig {
+                b.ensure(n);
+            }
+            (n - 1) as u32
+        }
+    }
+
+    /// The distinct chain subscriptions of `ops`: `(operand index,
+    /// chain)`, skipping a second operand on the same exact chain (an
+    /// entry with both operands on one chain subscribes once). The set
+    /// depends only on the immutable `chain` fields, so attach and
+    /// detach always agree.
+    fn subscriptions(
+        ops: &[Option<SchedOperand>; 2],
+    ) -> impl Iterator<Item = (usize, ChainRef)> + '_ {
+        let first = ops[0].as_ref().and_then(|o| o.chain);
+        ops.iter().enumerate().filter_map(move |(k, op)| {
+            let chain = op.as_ref().and_then(|o| o.chain)?;
+            (k == 0 || Some(chain) != first).then_some((k, chain))
+        })
+    }
+
+    /// Whether bucket filter `f` may hold a signal for any chain
+    /// subscribed by `ops`. No false negatives; a false positive (wire
+    /// ids aliasing modulo 256) only costs a wasted bucket scan.
+    // chainiq-analyze: hot
+    #[inline]
+    fn filter_hits(f: &[u64; 4], ops: &[Option<SchedOperand>; 2]) -> bool {
+        Self::subscriptions(ops).any(|(_, chain)| {
+            let b = (chain.id & 255) as usize;
+            f[b >> 6] & (1u64 << (b & 63)) != 0
+        })
+    }
+
+    /// Records `chain` in bucket filter `f`.
+    #[inline]
+    fn filter_add(f: &mut [u64; 4], chain: ChainRef) {
+        let b = (chain.id & 255) as usize;
+        f[b >> 6] |= 1u64 << (b & 63);
+    }
+
+    /// Recomputes the promotion-eligibility bit of an attached `slot`
+    /// and (re)schedules its time-only crossing. Idempotent: if nothing
+    /// changed, neither the mask nor the wheel is touched — safe to call
+    /// redundantly (the naive delivery path calls it for bystanders).
+    // chainiq-analyze: hot
+    fn recompute_elig(&mut self, slot: u32) {
+        let e = &self.slots[slot as usize];
+        let seg = e.seg;
+        if seg == 0 {
+            return; // the issue buffer has no promotion threshold
+        }
+        let th = self.config.threshold(seg - 1);
+        let epoch = self.countdown_epoch;
+        if e.delay_at(epoch) < th {
+            self.elig[seg].set(slot);
+            self.recheck_at[slot as usize] = NO_RECHECK;
+            return;
+        }
+        self.elig[seg].clear(slot);
+        match e.crossing_at(th, epoch) {
+            Some(c) if self.recheck_at[slot as usize] != c => {
+                self.recheck_at[slot as usize] = c;
+                self.crossings.schedule(c, slot);
+            }
+            Some(_) => {} // the pending recheck is already exactly there
+            None => self.recheck_at[slot as usize] = NO_RECHECK,
         }
     }
 
     /// Inserts `slot` (with `tag` and `seg` already set in its entry)
-    /// into the per-segment lists, and counts it ready if its entry is.
+    /// into the per-segment lists and eligibility mask, and counts it
+    /// ready if its entry is.
     // chainiq-analyze: hot
     fn attach(&mut self, slot: u32) {
         let e = &self.slots[slot as usize];
         let (tag, seg, counted) = (e.tag, e.seg, e.counted);
         let ops = e.sched_ops;
-        seg_insert(&mut self.segs[seg], tag, slot);
-        for op in ops.iter().flatten() {
-            if let Some(chain) = op.chain {
-                fol_insert(&mut self.followers[seg], chain, tag, slot);
+        seg_splice(&mut self.seg_list[seg], &mut self.seg_link, &self.slot_tags, tag, slot);
+        self.seg_len[seg] += 1;
+        for (k, chain) in Self::subscriptions(&ops) {
+            let wires = &mut self.fol_heads[seg];
+            let id = chain.id as usize;
+            if wires.len() <= id {
+                wires.resize(id + 1, ListHead::EMPTY);
             }
+            let node = 2 * slot + k as u32;
+            slab_list::push_back(&mut wires[id], &mut self.fol_links, node);
+            self.fol_chain[node as usize] = chain;
+            if self.fol_live.len() <= id {
+                self.fol_live.resize(id + 1, 0);
+            }
+            self.fol_live[id] |= 1u64 << (seg & 63);
         }
         if counted {
             self.ready_count[seg] += 1;
         }
+        self.recompute_elig(slot);
     }
 
-    /// Removes `slot` from the per-segment lists (it stays in the slab,
-    /// `ready_future` and `waiters` — callers either re-attach after
-    /// moving it or finish with `remove_fully`).
+    /// Removes `slot` from the per-segment lists and eligibility mask
+    /// (it stays in the slab, the ready wheel and the waiter lists —
+    /// callers either re-attach after moving it or finish with
+    /// `remove_fully`).
     // chainiq-analyze: hot
     fn detach(&mut self, slot: u32) {
         let e = &self.slots[slot as usize];
-        let (tag, seg, counted) = (e.tag, e.seg, e.counted);
+        let (seg, counted) = (e.seg, e.counted);
         let ops = e.sched_ops;
-        seg_remove(&mut self.segs[seg], tag);
-        for op in ops.iter().flatten() {
-            if let Some(chain) = op.chain {
-                fol_remove(&mut self.followers[seg], chain, tag);
+        slab_list::remove(&mut self.seg_list[seg], &mut self.seg_link, slot);
+        self.seg_len[seg] -= 1;
+        for (k, chain) in Self::subscriptions(&ops) {
+            let node = 2 * slot + k as u32;
+            let head = &mut self.fol_heads[seg][chain.id as usize];
+            slab_list::remove(head, &mut self.fol_links, node);
+            // Only exact bits may be cleared; with more than 64 segments
+            // the aliased bit stays set (conservative, still correct).
+            if head.is_empty() && self.config.num_segments <= 64 {
+                self.fol_live[chain.id as usize] &= !(1u64 << seg);
             }
         }
         if counted {
             self.ready_count[seg] -= 1;
         }
+        self.elig[seg].clear(slot);
+        self.recheck_at[slot as usize] = NO_RECHECK;
+    }
+
+    /// Moves an attached `slot` one segment down (`seg` → `seg - 1`) in
+    /// a single pass: one age-list re-splice, one follower-node move per
+    /// subscription, one ready-count transfer and one eligibility
+    /// recompute — the work a detach/attach pair would do twice. The
+    /// promotion loop runs this tens of times per cycle under heavy
+    /// chain traffic.
+    // chainiq-analyze: hot
+    fn move_down(&mut self, slot: u32, now: Cycle, splice_hint: &mut u32) {
+        let e = &mut self.slots[slot as usize];
+        let (tag, seg, counted) = (e.tag, e.seg, e.counted);
+        let dst = seg - 1;
+        e.seg = dst;
+        e.moved_at = now;
+        let ops = e.sched_ops;
+        slab_list::remove(&mut self.seg_list[seg], &mut self.seg_link, slot);
+        self.seg_len[seg] -= 1;
+        seg_splice_hinted(
+            &mut self.seg_list[dst],
+            &mut self.seg_link,
+            &self.slot_tags,
+            tag,
+            slot,
+            splice_hint,
+        );
+        self.seg_len[dst] += 1;
+        for (k, chain) in Self::subscriptions(&ops) {
+            let node = 2 * slot + k as u32;
+            let id = chain.id as usize;
+            let head = &mut self.fol_heads[seg][id];
+            slab_list::remove(head, &mut self.fol_links, node);
+            // Only exact bits may be cleared; with more than 64 segments
+            // the aliased bit stays set (conservative, still correct).
+            if head.is_empty() && self.config.num_segments <= 64 {
+                self.fol_live[id] &= !(1u64 << seg);
+            }
+            let wires = &mut self.fol_heads[dst];
+            if wires.len() <= id {
+                wires.resize(id + 1, ListHead::EMPTY);
+            }
+            slab_list::push_back(&mut wires[id], &mut self.fol_links, node);
+            self.fol_live[id] |= 1u64 << (dst & 63);
+            // `fol_chain[node]` already names this chain.
+        }
+        if counted {
+            self.ready_count[seg] -= 1;
+            self.ready_count[dst] += 1;
+        }
+        self.elig[seg].clear(slot);
+        self.recheck_at[slot as usize] = NO_RECHECK;
+        self.recompute_elig(slot);
     }
 
     /// Removes `slot` from the queue entirely (issue path), returning the
-    /// chain its instruction headed, if any. Stale `ready_future` records
+    /// chain its instruction headed, if any. Stale ready-wheel records
     /// are left behind; the drain revalidates liveness.
     // chainiq-analyze: hot
     fn remove_fully(&mut self, slot: u32) -> Option<ChainRef> {
         self.detach(slot);
         let e = &mut self.slots[slot as usize];
         e.live = false;
-        let (tag, heads, dops) = (e.tag, e.heads_chain, e.data_ops);
-        for d in dops.iter().flatten() {
-            self.waiters.remove(&(d.producer, tag, slot));
+        let (heads, dops) = (e.heads_chain, e.data_ops);
+        for (k, d) in dops.iter().enumerate() {
+            let Some(d) = d else { continue };
+            if k == 1 && dops[0].is_some_and(|d0| d0.producer == d.producer) {
+                continue; // second operand shared the first's waiter node
+            }
+            let key = d.producer.0;
+            if let Some(head) = self.waiter_heads.get_mut(key) {
+                slab_list::remove(head, &mut self.wait_links, 2 * slot + k as u32);
+                if head.is_empty() {
+                    self.waiter_heads.remove(key);
+                }
+            }
         }
         self.free_slots.push(slot);
         heads
@@ -523,7 +874,7 @@ impl SegmentedIq {
                     e.counted = false;
                     self.ready_count[seg] -= 1;
                 }
-                self.ready_future.insert((c, tag, slot));
+                self.ready_wheel.schedule(c, (tag, slot));
             }
             None => {
                 if was_counted {
@@ -537,40 +888,66 @@ impl SegmentedIq {
     /// Advances the ready counters to `now`, revalidating each matured
     /// record against the live entry (records outlive re-announces and
     /// issued entries; only a live, still-uncounted, actually-ready
-    /// entry is counted).
+    /// entry is counted — so the wheel's drain order is immaterial).
     // chainiq-analyze: hot
     fn drain_ready(&mut self, now: Cycle) {
         self.last_now = now;
-        while let Some(&(c, tag, slot)) = self.ready_future.first() {
-            if c > now {
-                break;
-            }
-            self.ready_future.pop_first();
+        let mut matured = std::mem::take(&mut self.scratch_wake);
+        matured.clear();
+        self.ready_wheel.drain_into(now, &mut matured);
+        for &(tag, slot) in &matured {
             let e = &mut self.slots[slot as usize];
             if e.live && e.tag == tag && !e.counted && e.ready_cache.is_some_and(|rc| rc <= now) {
                 e.counted = true;
                 self.ready_count[e.seg] += 1;
             }
         }
+        self.scratch_wake = matured;
     }
 
-    /// Delivers `sig` to the entries of its segment: through the
+    /// Delivers `sig` to the entries of its segment: through the wire's
     /// follower list normally, or to every resident in naive mode (the
     /// per-operand chain check makes the two target sets equivalent).
+    /// Eligibility is recomputed wherever the signal changed operand
+    /// state; a no-op application leaves the mask and wheel untouched by
+    /// definition, so skipping the recompute keeps both modes'
+    /// masks identical (naive recomputes unconditionally, including
+    /// bystanders — the reference stays maximally simple).
     // chainiq-analyze: hot
     fn deliver_to_segment(&mut self, sig: WireSignal) {
+        let epoch = self.countdown_epoch;
         if self.naive {
-            for i in 0..self.segs[sig.segment].len() {
-                let slot = self.segs[sig.segment][i].1;
-                self.slots[slot as usize].apply_signal(sig);
+            let mut cur = self.seg_list[sig.segment].head;
+            while cur != NIL {
+                self.slots[cur as usize].apply_signal_at(sig.chain, sig.kind, epoch);
+                self.recompute_elig(cur);
+                cur = self.seg_link[cur as usize].next;
             }
         } else {
-            let list = &self.followers[sig.segment];
-            let lo = list.partition_point(|&(c, _, _)| c < sig.chain);
-            let hi = lo + list[lo..].partition_point(|&(c, _, _)| c == sig.chain);
-            for i in lo..hi {
-                let slot = self.followers[sig.segment][i].2;
-                self.slots[slot as usize].apply_signal(sig);
+            let id = sig.chain.id as usize;
+            // One dense word answers "any subscriber here?" for the
+            // common all-empty hop without touching the list heads.
+            match self.fol_live.get(id) {
+                Some(live) if live & (1u64 << (sig.segment & 63)) != 0 => {}
+                _ => {
+                    return; // no subscriber of this wire in this segment
+                }
+            }
+            let Some(&head) = self.fol_heads[sig.segment].get(id) else {
+                return; // no subscriber has ever touched this wire here
+            };
+            let mut cur = head.head;
+            while cur != NIL {
+                // Exact-generation match: a subscriber of a released and
+                // recycled wire must not be hit by the new chain's
+                // signals twice through its two nodes.
+                if self.fol_chain[cur as usize] == sig.chain {
+                    let slot = cur >> 1;
+                    if self.slots[slot as usize].apply_signal_at(sig.chain, sig.kind, epoch) {
+                        self.recompute_elig(slot);
+                    }
+                }
+                cur = self.fol_links[cur as usize].next;
             }
         }
     }
@@ -594,7 +971,8 @@ impl SegmentedIq {
         if segment == self.config.num_segments - 1 {
             self.deliver_to_regs(sig);
         } else {
-            self.sig_bufs[segment].push(sig);
+            self.sig_bufs[segment].push(BufSig { chain, kind });
+            Self::filter_add(&mut self.sig_filter[segment], chain);
         }
     }
 
@@ -602,93 +980,110 @@ impl SegmentedIq {
     /// are processed top-down — oldest signals first, matching the
     /// assert-time order the single-list kernel used (signals in
     /// different buckets land in disjoint segments, so only the
-    /// same-bucket order is observable, and that is preserved).
+    /// same-bucket order is observable, and that is preserved). Each
+    /// bucket moves up wholesale by vector swap — the destination bucket
+    /// was drained on the previous iteration — so a signal is written
+    /// once at assert and never copied again while it climbs.
     // chainiq-analyze: hot
     fn propagate_signals(&mut self) {
         let top = self.top();
-        let mut moved = std::mem::take(&mut self.scratch_sigs);
         for s in (0..top).rev() {
             if self.sig_bufs[s].is_empty() {
                 continue;
             }
             self.stats.wire_signal_hops += self.sig_bufs[s].len() as u64;
-            moved.clear();
-            moved.append(&mut self.sig_bufs[s]);
-            for &sent in &moved {
-                let mut sig = sent;
-                sig.segment += 1;
+            let dst = s + 1;
+            let buf = std::mem::take(&mut self.sig_bufs[s]);
+            for &b in &buf {
+                let sig = WireSignal { chain: b.chain, kind: b.kind, segment: dst };
                 self.deliver_to_segment(sig);
-                if sig.segment >= top {
+                if dst >= top {
                     self.deliver_to_regs(sig);
-                } else {
-                    self.sig_bufs[sig.segment].push(sig);
                 }
             }
+            if dst < top {
+                let drained = std::mem::replace(&mut self.sig_bufs[dst], buf);
+                self.sig_bufs[s] = drained;
+                self.sig_filter[dst] = self.sig_filter[s];
+            } else {
+                // Top arrivals went to the register tables; keep the
+                // allocation for future asserts.
+                let mut buf = buf;
+                buf.clear();
+                self.sig_bufs[s] = buf;
+            }
+            self.sig_filter[s] = [0u64; 4];
         }
-        self.scratch_sigs = moved;
     }
 
-    /// One cycle of self-timed countdowns. Live countdowns are *dense* —
-    /// in steady state most chain members hold one — so this is a sweep
-    /// of the resident entries, not an indexed visit (an index here
-    /// costs more in churn than the sweep; see DESIGN.md §9). The
-    /// per-entry tick is independent, so sweep order is immaterial: a
-    /// mostly-full slab is swept sequentially, a mostly-empty one
-    /// through the segment lists to skip the dead slots.
+    /// Fires the eligibility rechecks that matured by `now`. Each record
+    /// is guarded by `recheck_at` (stale records from detached or
+    /// rescheduled slots are skipped) and the handler is a pure
+    /// recompute, so drain order and redundant firings are immaterial.
     // chainiq-analyze: hot
-    fn tick_countdowns(&mut self) {
-        let live = self.slots.len() - self.free_slots.len();
-        if 2 * live >= self.slots.len() {
-            for e in &mut self.slots {
-                if e.live {
-                    for op in e.sched_ops.iter_mut().flatten() {
-                        op.tick();
-                    }
-                }
-            }
-        } else {
-            for k in 0..self.segs.len() {
-                for i in 0..self.segs[k].len() {
-                    let slot = self.segs[k][i].1;
-                    for op in self.slots[slot as usize].sched_ops.iter_mut().flatten() {
-                        op.tick();
-                    }
-                }
+    fn drain_crossings(&mut self, now: Cycle) {
+        let mut matured = std::mem::take(&mut self.scratch_cross);
+        matured.clear();
+        self.crossings.drain_into(now, &mut matured);
+        for &slot in &matured {
+            // `recheck_at` holds the cycle of the one valid record per
+            // slot; anything else on the wheel is stale.
+            if self.recheck_at[slot as usize] <= now {
+                self.recheck_at[slot as usize] = NO_RECHECK;
+                self.recompute_elig(slot);
             }
         }
-        for t in &mut self.regs {
-            t.tick();
-        }
+        self.scratch_cross = matured;
     }
 
     /// Selects up to `budget` entries of `seg` for promotion: eligible
     /// (delay below the destination threshold) oldest-first, then — if
-    /// pushdown applies — oldest ineligible entries. Eligibility is
-    /// recomputed by scanning the segment: delay values change for most
-    /// of the window every cycle, so an eligibility index is all churn
-    /// (both kernels share this path; the scan *is* the reference).
+    /// pushdown applies — oldest ineligible entries. The naive kernel
+    /// walks the age list recomputing every delay (the reference); the
+    /// indexed kernel reads the incrementally-maintained eligibility
+    /// mask, whose bits are exactly `delay < threshold` at the current
+    /// epoch, and age-orders the set bits by tag.
     // chainiq-analyze: hot
     fn choose_promotions_into(&self, seg: usize, budget: usize, picks: &mut Vec<(InstTag, u32)>) {
         let threshold = self.config.threshold(seg - 1);
-        let list = &self.segs[seg];
-        for &(tag, slot) in list {
-            if picks.len() == budget {
-                break;
+        let epoch = self.countdown_epoch;
+        if self.naive {
+            let mut cur = self.seg_list[seg].head;
+            while cur != NIL && picks.len() < budget {
+                let e = &self.slots[cur as usize];
+                if e.delay_at(epoch) < threshold {
+                    picks.push((e.tag, cur));
+                }
+                cur = self.seg_link[cur as usize].next;
             }
-            if self.slots[slot as usize].delay() < threshold {
-                picks.push((tag, slot));
+        } else if self.elig[seg].any() {
+            // The eligible set routinely exceeds the budget (free space
+            // in the destination, not eligibility, is the usual limit),
+            // so walking the tag-ordered age list probing bits — and
+            // stopping at `budget` — beats collecting the whole set off
+            // the mask and sorting it.
+            let mut cur = self.seg_list[seg].head;
+            while cur != NIL && picks.len() < budget {
+                if self.elig[seg].get(cur) {
+                    picks.push((self.slot_tags[cur as usize], cur));
+                }
+                cur = self.seg_link[cur as usize].next;
             }
         }
         if self.pushdown_applies(seg, budget, picks.len()) {
             let mut room = (budget - picks.len()).min(self.config.promote_width);
-            for &(tag, slot) in list {
-                if room == 0 {
-                    break;
-                }
-                if self.slots[slot as usize].delay() >= threshold {
-                    picks.push((tag, slot));
+            let mut cur = self.seg_list[seg].head;
+            while cur != NIL && room > 0 {
+                let ineligible = if self.naive {
+                    self.slots[cur as usize].delay_at(epoch) >= threshold
+                } else {
+                    !self.elig[seg].get(cur)
+                };
+                if ineligible {
+                    picks.push((self.slot_tags[cur as usize], cur));
                     room -= 1;
                 }
+                cur = self.seg_link[cur as usize].next;
             }
         }
     }
@@ -701,27 +1096,39 @@ impl SegmentedIq {
     }
 
     /// Moves `slot` from `seg` to `seg - 1`, asserting the chain wire if
-    /// it heads a chain.
+    /// it heads a chain. `splice_hint` carries the destination-list
+    /// position between the picks of one batch (see `seg_splice_hinted`);
+    /// callers reset it to `NIL` per destination list.
     // chainiq-analyze: hot
-    fn promote_one(&mut self, now: Cycle, seg: usize, slot: u32, pushdown: bool) {
-        // Detach first: the mover must not receive its own pulse, which
-        // is asserted in the segment it leaves (§3.3).
-        self.detach(slot);
-        if let Some(chain) = self.slots[slot as usize].heads_chain {
-            self.assert_signal(chain, SignalKind::Pulse, seg);
-        }
+    fn promote_one(
+        &mut self,
+        now: Cycle,
+        seg: usize,
+        slot: u32,
+        pushdown: bool,
+        splice_hint: &mut u32,
+    ) {
         // A promotion moves against the upward-travelling wire signals: a
         // signal currently visible in the destination segment would reach
         // the source segment next cycle and miss the mover, so deliver it
-        // on the way past (exactly the `seg - 1` bucket).
-        for i in 0..self.sig_bufs[seg - 1].len() {
-            let s = self.sig_bufs[seg - 1][i];
-            self.slots[slot as usize].apply_signal(s);
+        // on the way past (exactly the `seg - 1` bucket). The application
+        // is position-independent, so it happens before the move.
+        let epoch = self.countdown_epoch;
+        let ops = self.slots[slot as usize].sched_ops;
+        if self.naive || Self::filter_hits(&self.sig_filter[seg - 1], &ops) {
+            for i in 0..self.sig_bufs[seg - 1].len() {
+                let b = self.sig_bufs[seg - 1][i];
+                self.slots[slot as usize].apply_signal_at(b.chain, b.kind, epoch);
+            }
         }
-        let e = &mut self.slots[slot as usize];
-        e.moved_at = now;
-        e.seg = seg - 1;
-        self.attach(slot);
+        let heads_chain = self.slots[slot as usize].heads_chain;
+        self.move_down(slot, now, splice_hint);
+        // The mover left `seg` before its pulse is asserted there, so it
+        // cannot receive its own pulse (§3.3); the pulse is delivered to
+        // the entries staying behind and buffered for the climb.
+        if let Some(chain) = heads_chain {
+            self.assert_signal(chain, SignalKind::Pulse, seg);
+        }
         if pushdown {
             self.stats.pushdowns += 1;
         } else {
@@ -742,11 +1149,13 @@ impl SegmentedIq {
             let threshold = self.config.threshold(seg - 1);
             picks.clear();
             self.choose_promotions_into(seg, budget, &mut picks);
+            let mut splice_hint = NIL;
             for &(_, slot) in &picks {
                 // Re-read the live delay: an earlier pick's pulse this
                 // cycle may have changed it since the pick was made.
-                let is_pushdown = self.slots[slot as usize].delay() >= threshold;
-                self.promote_one(now, seg, slot, is_pushdown);
+                let is_pushdown =
+                    self.slots[slot as usize].delay_at(self.countdown_epoch) >= threshold;
+                self.promote_one(now, seg, slot, is_pushdown, &mut splice_hint);
                 promoted += 1;
             }
         }
@@ -763,12 +1172,23 @@ impl SegmentedIq {
         // the youngest back to the top.
         let mut recycled: Option<u32> = None;
         let seg0_has_ready = if self.naive {
-            self.segs[0].iter().any(|&(_, s)| self.slots[s as usize].data_ready(now))
+            let mut found = false;
+            let mut cur = self.seg_list[0].head;
+            while cur != NIL {
+                if self.slots[cur as usize].data_ready(now) {
+                    found = true;
+                    break;
+                }
+                cur = self.seg_link[cur as usize].next;
+            }
+            found
         } else {
             self.ready_count[0] > 0
         };
         if self.free(0) == 0 && !seg0_has_ready {
-            if let Some(&(_, slot)) = self.segs[0].last() {
+            // The age list is tag-ordered, so the youngest is the tail.
+            let slot = self.seg_list[0].tail;
+            if slot != NIL {
                 self.detach(slot);
                 recycled = Some(slot);
                 self.stats.recovery_recycles += 1;
@@ -776,18 +1196,27 @@ impl SegmentedIq {
         }
         // Bottom-up, every full segment force-promotes one instruction
         // (eligible if available, else the oldest ineligible).
+        let epoch = self.countdown_epoch;
         for seg in 1..self.config.num_segments {
             if self.free(seg) > 0 || self.free(seg - 1) == 0 {
                 continue;
             }
             let threshold = self.config.threshold(seg - 1);
-            let pick = self.segs[seg]
-                .iter()
-                .find(|&&(_, s)| self.slots[s as usize].delay() < threshold)
-                .or_else(|| self.segs[seg].first())
-                .map(|&(_, s)| s);
+            let mut pick = None;
+            let mut cur = self.seg_list[seg].head;
+            while cur != NIL {
+                if self.slots[cur as usize].delay_at(epoch) < threshold {
+                    pick = Some(cur);
+                    break;
+                }
+                cur = self.seg_link[cur as usize].next;
+            }
+            if pick.is_none() && self.seg_list[seg].head != NIL {
+                pick = Some(self.seg_list[seg].head);
+            }
             if let Some(slot) = pick {
-                self.promote_one(now, seg, slot, false);
+                let mut splice_hint = NIL;
+                self.promote_one(now, seg, slot, false, &mut splice_hint);
                 self.stats.recovery_promotions += 1;
             }
         }
@@ -806,22 +1235,25 @@ impl SegmentedIq {
     fn ready_scan_naive(&self, now: Cycle) -> (u64, u64) {
         let mut ready0 = 0u64;
         let mut ready_all = 0u64;
-        for (k, list) in self.segs.iter().enumerate() {
-            for &(_, slot) in list {
-                if self.slots[slot as usize].data_ready(now) {
+        for k in 0..self.config.num_segments {
+            let mut cur = self.seg_list[k].head;
+            while cur != NIL {
+                if self.slots[cur as usize].data_ready(now) {
                     ready_all += 1;
                     if k == 0 {
                         ready0 += 1;
                     }
                 }
+                cur = self.seg_link[cur as usize].next;
             }
         }
         (ready0, ready_all)
     }
 
     /// Builds the scheduling operand for one source register, from the
-    /// register information table.
-    fn sched_for(&self, sched: RegSched) -> Option<SchedOperand> {
+    /// register information table. A ticking operand starts its virtual
+    /// countdown at the dispatch cycle `now`.
+    fn sched_for(&self, sched: RegSched, now: Cycle) -> Option<SchedOperand> {
         match sched {
             RegSched::Available => None,
             RegSched::Countdown { remaining } => Some(SchedOperand {
@@ -830,6 +1262,7 @@ impl SegmentedIq {
                 head_loc: 0,
                 self_timed: true,
                 suspended: false,
+                since: now,
             }),
             RegSched::OnChain { chain, latency, head_loc, self_timed, suspended } => {
                 Some(SchedOperand {
@@ -838,6 +1271,7 @@ impl SegmentedIq {
                     head_loc: if self_timed { 0 } else { head_loc },
                     self_timed,
                     suspended,
+                    since: now,
                 })
             }
         }
@@ -860,7 +1294,7 @@ impl SegmentedIq {
         if !self.config.bypass {
             return (self.free(top) > 0).then_some(top);
         }
-        let highest_nonempty = (0..=top).rev().find(|&k| !self.segs[k].is_empty()).unwrap_or(0);
+        let highest_nonempty = (0..=top).rev().find(|&k| self.seg_len[k] > 0).unwrap_or(0);
         if self.free(highest_nonempty) > 0 {
             Some(highest_nonempty)
         } else if highest_nonempty < top {
@@ -877,7 +1311,7 @@ impl IssueQueue for SegmentedIq {
     }
 
     fn occupancy(&self) -> usize {
-        self.segs.iter().map(Vec::len).sum()
+        self.seg_len.iter().sum()
     }
 
     // chainiq-analyze: hot
@@ -895,14 +1329,14 @@ impl IssueQueue for SegmentedIq {
         self.stats.iq.cycles += 1;
         let mut occupancy = 0u64;
         let mut empty = 0u64;
-        for s in &self.segs {
-            occupancy += s.len() as u64;
-            if s.is_empty() {
+        for &len in &self.seg_len {
+            occupancy += len as u64;
+            if len == 0 {
                 empty += 1;
             }
         }
         self.stats.iq.occupancy_accum += occupancy;
-        self.stats.seg0_occupancy_accum += self.segs[0].len() as u64;
+        self.stats.seg0_occupancy_accum += self.seg_len[0] as u64;
         self.stats.num_segments = self.config.num_segments;
         self.stats.empty_segment_cycles += empty;
         let (ready0, ready_all) = if self.naive {
@@ -918,13 +1352,22 @@ impl IssueQueue for SegmentedIq {
         self.stats.ready_total_accum += ready_all;
         self.chains.sample(now);
 
-        // 1. Signals asserted last cycle move one segment up.
+        // 1. Signals asserted last cycle move one segment up (delivered
+        //    against the previous cycle's epoch: suspends gate this
+        //    cycle's decrement).
         self.propagate_signals();
 
-        // 2. Self-timed countdowns (suspends delivered above gate these).
-        self.tick_countdowns();
+        // 2. This cycle's self-timed decrement happens *virtually*:
+        //    advancing the epoch is the whole-window countdown tick.
+        self.countdown_epoch = now;
+        for t in &mut self.regs {
+            t.tick();
+        }
 
-        // 3. Chain/threshold-driven promotion.
+        // 3. Eligibility crossings that matured by the new epoch.
+        self.drain_crossings(now);
+
+        // 4. Chain/threshold-driven promotion.
         let promoted = self.run_promotion(now);
 
         // 4. Deadlock detection (§4.5): queue non-empty, nothing issued
@@ -955,18 +1398,25 @@ impl IssueQueue for SegmentedIq {
         if thread >= self.regs.len() {
             self.regs.resize_with(thread + 1, RegInfoTable::new);
         }
-        let srcs: Vec<(usize, RegSched)> = info
-            .srcs
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.map(|s| (i, self.regs[thread].get(s.reg))))
-            .collect();
+        let mut srcs: [Option<RegSched>; 2] = [None, None];
+        for (i, s) in info.srcs.iter().enumerate() {
+            if let Some(s) = s {
+                srcs[i] = Some(self.regs[thread].get(s.reg));
+            }
+        }
         let chain_of = |s: &RegSched| match s {
             RegSched::OnChain { chain, .. } => Some(*chain),
             _ => None,
         };
-        let chains_seen: Vec<ChainRef> = srcs.iter().filter_map(|(_, s)| chain_of(s)).collect();
-        let dual_dep = chains_seen.len() == 2 && chains_seen[0] != chains_seen[1];
+        let mut chains_seen: [Option<ChainRef>; 2] = [None, None];
+        let mut n_chains = 0usize;
+        for s in srcs.iter().flatten() {
+            if let Some(c) = chain_of(s) {
+                chains_seen[n_chains] = Some(c);
+                n_chains += 1;
+            }
+        }
+        let dual_dep = n_chains == 2 && chains_seen[0] != chains_seen[1];
 
         let is_load = info.op == OpClass::Load;
         let load_heads_chain = is_load && !info.predicted_hit;
@@ -993,17 +1443,21 @@ impl IssueQueue for SegmentedIq {
         if dual_dep && !self.config.two_chain_tracking {
             let pick = info.lrp_pick.unwrap_or(OperandPick::Left);
             let keep = match pick {
-                OperandPick::Left => srcs[0].0,
-                OperandPick::Right => srcs[srcs.len() - 1].0,
+                OperandPick::Left => (0..2).find(|&i| srcs[i].is_some()).unwrap_or(0),
+                OperandPick::Right => (0..2).rev().find(|&i| srcs[i].is_some()).unwrap_or(0),
             };
-            for (i, s) in &srcs {
-                if *i == keep || chain_of(s).is_none() {
-                    sched_ops[*i] = self.sched_for(*s);
+            for (i, s) in srcs.iter().enumerate() {
+                if let Some(s) = s {
+                    if i == keep || chain_of(s).is_none() {
+                        sched_ops[i] = self.sched_for(*s, now);
+                    }
                 }
             }
         } else {
-            for (i, s) in &srcs {
-                sched_ops[*i] = self.sched_for(*s);
+            for (i, s) in srcs.iter().enumerate() {
+                if let Some(s) = s {
+                    sched_ops[i] = self.sched_for(*s, now);
+                }
             }
         }
 
@@ -1045,14 +1499,15 @@ impl IssueQueue for SegmentedIq {
                     suspended: false,
                 }
             } else {
-                // Follow the slowest operand.
-                let slowest = sched_ops.iter().flatten().max_by_key(|o| o.delay()).copied();
+                // Follow the slowest operand (freshly built: `since` is
+                // `now`, so `delay_at(now)` is the undecayed delay).
+                let slowest = sched_ops.iter().flatten().max_by_key(|o| o.delay_at(now)).copied();
                 match slowest {
                     None => RegSched::Countdown { remaining: descent.max(0) + produce },
                     Some(op) => match op.chain {
-                        None => {
-                            RegSched::Countdown { remaining: op.delay().max(descent) + produce }
-                        }
+                        None => RegSched::Countdown {
+                            remaining: op.delay_at(now).max(descent) + produce,
+                        },
                         // Keep listening on the chain even in self-timed
                         // mode so suspend/resume reaches dependents'
                         // dependents.
@@ -1100,9 +1555,13 @@ impl IssueQueue for SegmentedIq {
         // dispatch starts from the state a resident entry would hold
         // (top-down = assert-time order, as the single-list kernel
         // applied them).
+        let epoch = self.countdown_epoch;
         for s in (target..self.top()).rev() {
+            if !self.naive && !Self::filter_hits(&self.sig_filter[s], &entry.sched_ops) {
+                continue;
+            }
             for sig in &self.sig_bufs[s] {
-                entry.apply_signal(*sig);
+                entry.apply_signal_at(sig.chain, sig.kind, epoch);
             }
         }
         entry.ready_cache = entry.compute_ready_cache();
@@ -1110,17 +1569,25 @@ impl IssueQueue for SegmentedIq {
             Some(c) if c <= self.last_now => entry.counted = true,
             _ => {}
         }
-        let tag = info.tag;
         let future = match entry.ready_cache {
             Some(c) if c > self.last_now => Some(c),
             _ => None,
         };
+        let tag = info.tag;
         let slot = self.alloc_slot(entry);
         if let Some(c) = future {
-            self.ready_future.insert((c, tag, slot));
+            self.ready_wheel.schedule(c, (tag, slot));
         }
-        for d in data_ops.iter().flatten() {
-            self.waiters.insert((d.producer, tag, slot));
+        // Subscribe to producer announcements; two operands waiting on
+        // the same producer share one node (announce sets both anyway).
+        for (k, d) in data_ops.iter().enumerate() {
+            let Some(d) = d else { continue };
+            if k == 1 && data_ops[0].is_some_and(|d0| d0.producer == d.producer) {
+                continue;
+            }
+            let mut head = self.waiter_heads.get(d.producer.0).unwrap_or(ListHead::EMPTY);
+            slab_list::push_back(&mut head, &mut self.wait_links, 2 * slot + k as u32);
+            self.waiter_heads.insert(d.producer.0, head);
         }
         self.attach(slot);
         Ok(())
@@ -1131,14 +1598,16 @@ impl IssueQueue for SegmentedIq {
         self.drain_ready(now);
         let mut ready = std::mem::take(&mut self.scratch_pairs);
         ready.clear();
-        // Tag-order scan of the issue buffer, preserving the scan
-        // kernel's oldest-first selection (the buffer is one segment —
-        // the scan is the fast path and the reference at once).
-        for &(tag, slot) in &self.segs[0] {
-            let e = &self.slots[slot as usize];
+        // Tag-order walk of the issue buffer's age list, preserving the
+        // scan kernel's oldest-first selection (the buffer is one
+        // segment — the walk is the fast path and the reference at once).
+        let mut cur = self.seg_list[0].head;
+        while cur != NIL {
+            let e = &self.slots[cur as usize];
             if e.data_ready(now) && e.moved_at < now {
-                ready.push((tag, slot));
+                ready.push((e.tag, cur));
             }
+            cur = self.seg_link[cur as usize].next;
         }
         let mut issued = Vec::with_capacity(ready.len());
         for &(tag, slot) in &ready {
@@ -1167,13 +1636,22 @@ impl IssueQueue for SegmentedIq {
         let mut targets = std::mem::take(&mut self.scratch_pairs);
         targets.clear();
         if self.naive {
-            for list in &self.segs {
-                targets.extend(list.iter().copied());
+            for k in 0..self.config.num_segments {
+                let mut cur = self.seg_list[k].head;
+                while cur != NIL {
+                    targets.push((self.slots[cur as usize].tag, cur));
+                    cur = self.seg_link[cur as usize].next;
+                }
             }
-        } else {
-            let lo = (producer, InstTag(0), 0u32);
-            let hi = (producer, InstTag(u64::MAX), u32::MAX);
-            targets.extend(self.waiters.range(lo..=hi).map(|&(_, t, s)| (t, s)));
+        } else if let Some(head) = self.waiter_heads.get(producer.0) {
+            // One node per (producer, entry): dispatch deduplicates
+            // same-producer operand pairs, so no slot repeats here.
+            let mut cur = head.head;
+            while cur != NIL {
+                let slot = cur >> 1;
+                targets.push((self.slots[slot as usize].tag, slot));
+                cur = self.wait_links[cur as usize].next;
+            }
         }
         for &(_, slot) in &targets {
             let e = &mut self.slots[slot as usize];
@@ -1209,19 +1687,33 @@ impl IssueQueue for SegmentedIq {
 
     fn flush(&mut self) {
         self.slots.clear();
+        self.slot_tags.clear();
         self.free_slots.clear();
-        for s in &mut self.segs {
-            s.clear();
+        // Drop the slab-parallel link storage with the slab itself.
+        for h in &mut self.seg_list {
+            *h = ListHead::EMPTY;
         }
-        for s in &mut self.followers {
-            s.clear();
+        self.seg_link.clear();
+        self.seg_len.fill(0);
+        for heads in &mut self.fol_heads {
+            heads.clear();
         }
+        self.fol_live.clear();
+        self.fol_links.clear();
+        self.fol_chain.clear();
+        self.waiter_heads.clear();
+        self.wait_links.clear();
         self.ready_count.fill(0);
-        self.ready_future.clear();
-        self.waiters.clear();
+        self.ready_wheel.reset(self.last_now);
+        self.crossings.reset(self.last_now);
+        self.recheck_at.clear();
+        for e in &mut self.elig {
+            e.clear_all();
+        }
         for b in &mut self.sig_bufs {
             b.clear();
         }
+        self.sig_filter.fill([0u64; 4]);
         self.chains.release_all();
         for t in &mut self.regs {
             t.reset();
@@ -1280,6 +1772,7 @@ impl chainiq_ckpt::Pack for SchedOperand {
         self.head_loc.pack(w);
         self.self_timed.pack(w);
         self.suspended.pack(w);
+        self.since.pack(w);
     }
     fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
         use chainiq_ckpt::Pack;
@@ -1289,6 +1782,7 @@ impl chainiq_ckpt::Pack for SchedOperand {
             head_loc: Pack::unpack(r)?,
             self_timed: Pack::unpack(r)?,
             suspended: Pack::unpack(r)?,
+            since: Pack::unpack(r)?,
         })
     }
 }
@@ -1336,24 +1830,36 @@ impl chainiq_ckpt::Pack for Entry {
 
 impl chainiq_ckpt::Snapshot for SegmentedIq {
     const COMPONENT: &'static str = "core.segmented";
-    const VERSION: u16 = 1;
+    const VERSION: u16 = 2;
 
     fn save(&self, w: &mut chainiq_ckpt::Writer) {
         use chainiq_ckpt::Pack;
-        // Scratch buffers are transient (cleared before every use) and
-        // the `naive` kernel-mode flag is a property of the running
-        // queue, not of the simulated state; neither is serialized.
+        // V2 serializes *canonical* state only: the slab (whose entries
+        // carry segment, operands and readiness), the free-list order,
+        // the clocks and the wire/chain/register machinery. Every index —
+        // age lists, follower and waiter lists, eligibility masks, both
+        // wheels, ready counts — is a pure function of that state and is
+        // rebuilt on restore. Scratch buffers are transient and the
+        // `naive` kernel-mode flag is a property of the running queue,
+        // not of the simulated state; neither is serialized.
         self.config.pack(w);
         self.slots.pack(w);
         self.free_slots.pack(w);
-        self.segs.pack(w);
-        self.followers.pack(w);
-        self.waiters.pack(w);
-        self.ready_count.pack(w);
-        self.ready_future.pack(w);
         self.last_now.pack(w);
+        self.countdown_epoch.pack(w);
         self.free_prev.pack(w);
-        self.sig_bufs.pack(w);
+        // The climb keeps each buffered signal's segment implicit (== its
+        // bucket index); serialization materializes it, emitting exactly
+        // the V2 `Vec<Vec<WireSignal>>` byte layout.
+        self.sig_bufs.len().pack(w);
+        for (s, buf) in self.sig_bufs.iter().enumerate() {
+            buf.len().pack(w);
+            for b in buf {
+                b.chain.pack(w);
+                b.kind.pack(w);
+                s.pack(w);
+            }
+        }
         self.chains.pack(w);
         self.regs.pack(w);
         self.stats.pack(w);
@@ -1371,12 +1877,8 @@ impl chainiq_ckpt::Snapshot for SegmentedIq {
         }
         let slots: Vec<Entry> = Pack::unpack(r)?;
         let free_slots: Vec<u32> = Pack::unpack(r)?;
-        let segs: Vec<Vec<(InstTag, u32)>> = Pack::unpack(r)?;
-        let followers: Vec<Vec<(ChainRef, InstTag, u32)>> = Pack::unpack(r)?;
-        let waiters: BTreeSet<(InstTag, InstTag, u32)> = Pack::unpack(r)?;
-        let ready_count: Vec<u64> = Pack::unpack(r)?;
-        let ready_future: BTreeSet<(Cycle, InstTag, u32)> = Pack::unpack(r)?;
         let last_now: Cycle = Pack::unpack(r)?;
+        let countdown_epoch: Cycle = Pack::unpack(r)?;
         let free_prev: Vec<usize> = Pack::unpack(r)?;
         let sig_bufs: Vec<Vec<WireSignal>> = Pack::unpack(r)?;
         let chains: ChainTable = Pack::unpack(r)?;
@@ -1386,57 +1888,148 @@ impl chainiq_ckpt::Snapshot for SegmentedIq {
         let progress_last_cycle: bool = Pack::unpack(r)?;
 
         let n = config.num_segments;
-        if segs.len() != n
-            || followers.len() != n
-            || ready_count.len() != n
-            || free_prev.len() != n
-            || sig_bufs.len() != n
-        {
+        if free_prev.len() != n || sig_bufs.len() != n {
             return Err(corrupt("segmented IQ per-segment vector lengths"));
         }
         if regs.is_empty() {
             return Err(corrupt("segmented IQ without a register table"));
         }
-        for (k, list) in segs.iter().enumerate() {
-            if list.len() > config.segment_size {
-                return Err(corrupt("overfull segment in checkpoint"));
+        if countdown_epoch != last_now {
+            // Snapshots are only taken between cycles, where the virtual
+            // countdown clock has caught up with the drain clock.
+            return Err(corrupt("countdown epoch disagrees with the queue clock"));
+        }
+        let mut seg_len = vec![0usize; n];
+        for e in slots.iter().filter(|e| e.live) {
+            if e.seg >= n {
+                return Err(corrupt("slab entry names an out-of-range segment"));
             }
-            for &(tag, slot) in list {
-                let ok =
-                    slots.get(slot as usize).is_some_and(|e| e.live && e.tag == tag && e.seg == k);
-                if !ok {
-                    return Err(corrupt("segment list points at a mismatched slab slot"));
-                }
+            seg_len[e.seg] += 1;
+            if e.counted != e.ready_cache.is_some_and(|c| c <= last_now) {
+                return Err(corrupt("ready count flag disagrees with the readiness cache"));
             }
         }
-        if followers.iter().flatten().any(|&(_, _, s)| (s as usize) >= slots.len())
-            || waiters.iter().any(|&(_, _, s)| (s as usize) >= slots.len())
-            || ready_future.iter().any(|&(_, _, s)| (s as usize) >= slots.len())
-        {
-            return Err(corrupt("index tuple points outside the slab"));
+        if seg_len.iter().any(|&l| l > config.segment_size) {
+            return Err(corrupt("overfull segment in checkpoint"));
         }
-        if free_slots.iter().any(|&s| slots.get(s as usize).is_none_or(|e| e.live)) {
-            return Err(corrupt("free list points at a live slab slot"));
+        // The free list must cover exactly the dead slots, each once (its
+        // order is canonical: slot allocation pops it LIFO).
+        let mut on_free = vec![false; slots.len()];
+        for &s in &free_slots {
+            if slots.get(s as usize).is_none_or(|e| e.live) {
+                return Err(corrupt("free list points at a live slab slot"));
+            }
+            if std::mem::replace(&mut on_free[s as usize], true) {
+                return Err(corrupt("free list repeats a slab slot"));
+            }
+        }
+        if slots.iter().zip(&on_free).any(|(e, &f)| !e.live && !f) {
+            return Err(corrupt("dead slab slot missing from the free list"));
         }
 
         self.slots = slots;
+        self.slot_tags = self.slots.iter().map(|e| e.tag).collect();
         self.free_slots = free_slots;
-        self.segs = segs;
-        self.followers = followers;
-        self.waiters = waiters;
-        self.ready_count = ready_count;
-        self.ready_future = ready_future;
         self.last_now = last_now;
+        self.countdown_epoch = countdown_epoch;
         self.free_prev = free_prev;
-        self.sig_bufs = sig_bufs;
+        // Buffered signals are canonical only up to the climb invariant:
+        // a signal's visible segment is the bucket holding it.
+        for (s, buf) in sig_bufs.iter().enumerate() {
+            if buf.iter().any(|sig| sig.segment != s) {
+                return Err(corrupt("buffered wire signal outside its climb bucket"));
+            }
+        }
+        self.sig_bufs = sig_bufs
+            .into_iter()
+            .map(|buf| buf.into_iter().map(|s| BufSig { chain: s.chain, kind: s.kind }).collect())
+            .collect();
+        self.sig_filter = vec![[0u64; 4]; n];
+        for (s, buf) in self.sig_bufs.iter().enumerate() {
+            for sig in buf {
+                Self::filter_add(&mut self.sig_filter[s], sig.chain);
+            }
+        }
         self.chains = chains;
         self.regs = regs;
         self.stats = stats;
         self.issued_this_cycle = issued_this_cycle;
         self.progress_last_cycle = progress_last_cycle;
+
+        // Rebuild every index from the slab. Age lists are tag-ordered
+        // within a segment; wheel bucket insertion orders need not match
+        // the continuous run's (drain handlers are order-independent).
+        let nslots = self.slots.len();
+        self.seg_list = vec![ListHead::EMPTY; n];
+        self.seg_link = vec![Link::default(); nslots];
+        self.seg_len = seg_len;
+        self.fol_heads = vec![vec![ListHead::EMPTY; self.chains.wire_count()]; n];
+        self.fol_live = vec![0; self.chains.wire_count()];
+        self.fol_links = vec![Link::default(); 2 * nslots];
+        self.fol_chain = vec![ChainRef { id: 0, gen: 0 }; 2 * nslots];
+        self.waiter_heads = TagMap::new();
+        self.wait_links = vec![Link::default(); 2 * nslots];
+        self.ready_count = vec![0; n];
+        self.recheck_at = vec![NO_RECHECK; nslots];
+        self.elig = vec![BitSet::new(); n];
+        for e in &mut self.elig {
+            e.ensure(nslots);
+        }
+        self.ready_wheel.reset(last_now);
+        self.crossings.reset(last_now);
+
+        let mut order: Vec<u32> =
+            (0..nslots as u32).filter(|&s| self.slots[s as usize].live).collect();
+        order.sort_unstable_by_key(|&s| (self.slots[s as usize].seg, self.slots[s as usize].tag));
+        for &slot in &order {
+            let seg = self.slots[slot as usize].seg;
+            slab_list::push_back(&mut self.seg_list[seg], &mut self.seg_link, slot);
+        }
+        for slot in 0..nslots as u32 {
+            let e = &self.slots[slot as usize];
+            if !e.live {
+                continue;
+            }
+            let (seg, tag) = (e.seg, e.tag);
+            let (sched_ops, data_ops) = (e.sched_ops, e.data_ops);
+            let (counted, ready_cache) = (e.counted, e.ready_cache);
+            for (k, chain) in SegmentedIq::subscriptions(&sched_ops) {
+                let heads = &mut self.fol_heads[seg];
+                if heads.len() <= chain.id as usize {
+                    heads.resize(chain.id as usize + 1, ListHead::EMPTY);
+                }
+                let node = 2 * slot + k as u32;
+                slab_list::push_back(&mut heads[chain.id as usize], &mut self.fol_links, node);
+                self.fol_chain[node as usize] = chain;
+                if self.fol_live.len() <= chain.id as usize {
+                    self.fol_live.resize(chain.id as usize + 1, 0);
+                }
+                self.fol_live[chain.id as usize] |= 1u64 << (seg & 63);
+            }
+            for (k, d) in data_ops.iter().enumerate() {
+                let Some(d) = d else { continue };
+                if k == 1 && data_ops[0].is_some_and(|d0| d0.producer == d.producer) {
+                    continue;
+                }
+                let mut head = self.waiter_heads.get(d.producer.0).unwrap_or(ListHead::EMPTY);
+                slab_list::push_back(&mut head, &mut self.wait_links, 2 * slot + k as u32);
+                self.waiter_heads.insert(d.producer.0, head);
+            }
+            if counted {
+                self.ready_count[seg] += 1;
+            }
+            if let Some(c) = ready_cache {
+                if c > last_now {
+                    self.ready_wheel.schedule(c, (tag, slot));
+                }
+            }
+            self.recompute_elig(slot);
+        }
         self.scratch_pairs.clear();
         self.scratch_picks.clear();
-        self.scratch_sigs.clear();
+        self.scratch_wake.clear();
+        self.scratch_cross.clear();
+        self.scratch_slots.clear();
         Ok(())
     }
 }

@@ -76,11 +76,40 @@ pub(crate) struct Lsq {
     read_ports: usize,
     write_ports: usize,
     stats: LsqStats,
+    /// Scratch: indices of stores written this cycle (removed afterwards).
+    written: Vec<u32>,
+    /// Scratch: addresses of resolved stores older than the load being
+    /// disambiguated this cycle.
+    store_addrs: Vec<u64>,
+    /// Committed stores still queued — the write pass is skipped when
+    /// zero (derived from `entries`; not serialized).
+    committed_stores: usize,
+    /// Loads whose address is known but whose access has not resolved —
+    /// the disambiguation pass is skipped when zero (derived; not
+    /// serialized).
+    ready_loads: usize,
 }
 
 impl Lsq {
     pub(crate) fn new(read_ports: usize, write_ports: usize) -> Self {
-        Lsq { entries: VecDeque::new(), read_ports, write_ports, stats: LsqStats::default() }
+        Lsq {
+            entries: VecDeque::new(),
+            read_ports,
+            write_ports,
+            stats: LsqStats::default(),
+            written: Vec::new(),
+            store_addrs: Vec::new(),
+            committed_stores: 0,
+            ready_loads: 0,
+        }
+    }
+
+    /// Position of `tag` in the queue. Dispatch pushes in tag order and
+    /// removals keep relative order, so the queue is tag-sorted and a
+    /// binary search replaces the old linear scan.
+    #[inline]
+    fn find(&self, tag: InstTag) -> Option<usize> {
+        self.entries.binary_search_by_key(&tag.0, |e| e.tag.0).ok()
     }
 
     pub(crate) fn stats(&self) -> LsqStats {
@@ -116,9 +145,13 @@ impl Lsq {
     /// The IQ issued the op's EA calculation; the address is known at
     /// `ea_at`.
     pub(crate) fn ea_computed(&mut self, tag: InstTag, ea_at: Cycle) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.tag == tag) {
+        if let Some(pos) = self.find(tag) {
+            let e = &mut self.entries[pos];
             if e.state == State::WaitingEa {
                 e.state = State::Ready(ea_at);
+                if !e.is_store {
+                    self.ready_loads += 1;
+                }
             }
         }
     }
@@ -126,10 +159,16 @@ impl Lsq {
     /// The instruction committed: loads leave; stores become eligible to
     /// write (they leave once written).
     pub(crate) fn on_commit(&mut self, tag: InstTag) {
-        if let Some(pos) = self.entries.iter().position(|e| e.tag == tag) {
+        if let Some(pos) = self.find(tag) {
             if self.entries[pos].is_store {
-                self.entries[pos].committed = true;
+                if !self.entries[pos].committed {
+                    self.entries[pos].committed = true;
+                    self.committed_stores += 1;
+                }
             } else {
+                if matches!(self.entries[pos].state, State::Ready(_)) {
+                    self.ready_loads -= 1;
+                }
                 self.entries.remove(pos);
             }
         }
@@ -141,93 +180,101 @@ impl Lsq {
         self.entries.iter().any(|e| !matches!(e.state, State::Done) || (e.is_store && e.committed))
     }
 
-    /// One cycle of memory scheduling.
-    pub(crate) fn cycle(&mut self, now: Cycle, mem: &mut Hierarchy) -> Vec<LsqEvent> {
-        let mut events = Vec::new();
-        let mut reads = 0usize;
-        let mut writes = 0usize;
-
-        // Committed stores write to the cache in order.
-        let mut written = Vec::new();
-        for (idx, e) in self.entries.iter().enumerate() {
-            if writes >= self.write_ports {
-                break;
-            }
-            if !e.is_store || !e.committed {
-                continue;
-            }
-            match e.state {
-                State::Ready(at) if at <= now => match mem.access(now, e.addr, AccessKind::Write) {
-                    Ok(_) => {
-                        writes += 1;
-                        written.push(idx);
-                        events.push(LsqEvent::StoreWritten { tag: e.tag });
-                    }
-                    Err(_) => {
-                        self.stats.mshr_retries += 1;
-                    }
-                },
-                _ => {}
-            }
-        }
-        for idx in written.into_iter().rev() {
-            self.entries.remove(idx);
-        }
-        self.stats.stores_written += writes as u64;
-
-        // Loads access once disambiguated against all older stores.
-        let snapshot: Vec<(usize, InstTag, u64, Cycle)> = self
-            .entries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| match (e.is_store, e.state) {
-                (false, State::Ready(at)) if at <= now => Some((i, e.tag, e.addr, at)),
-                _ => None,
-            })
-            .collect();
-        for (idx, tag, addr, _) in snapshot {
-            if reads >= self.read_ports {
-                break;
-            }
-            // Scan older entries for conflicts; nearest same-address store
-            // forwards.
-            let mut blocked = false;
-            let mut forward_from: Option<usize> = None;
-            for (j, older) in self.entries.iter().enumerate().take(idx) {
-                if !older.is_store {
+    /// One cycle of memory scheduling. Events are appended to `events`
+    /// (a caller-owned scratch buffer, so steady-state cycles allocate
+    /// nothing).
+    pub(crate) fn cycle(&mut self, now: Cycle, mem: &mut Hierarchy, events: &mut Vec<LsqEvent>) {
+        // Committed stores write to the cache in order. Skipped outright
+        // when none is queued (most cycles).
+        if self.committed_stores > 0 {
+            let mut writes = 0usize;
+            debug_assert!(self.written.is_empty());
+            for idx in 0..self.entries.len() {
+                if writes >= self.write_ports {
+                    break;
+                }
+                let e = &self.entries[idx];
+                if !e.is_store || !e.committed {
                     continue;
                 }
-                match older.state {
-                    State::WaitingEa => {
-                        blocked = true;
-                        break;
+                match e.state {
+                    State::Ready(at) if at <= now => {
+                        let (tag, addr) = (e.tag, e.addr);
+                        match mem.access(now, addr, AccessKind::Write) {
+                            Ok(_) => {
+                                writes += 1;
+                                self.written.push(idx as u32);
+                                events.push(LsqEvent::StoreWritten { tag });
+                            }
+                            Err(_) => {
+                                self.stats.mshr_retries += 1;
+                            }
+                        }
                     }
-                    State::Ready(at) if at > now => {
-                        blocked = true;
-                        break;
-                    }
+                    _ => {}
+                }
+            }
+            self.committed_stores -= self.written.len();
+            for idx in self.written.drain(..).rev() {
+                self.entries.remove(idx as usize);
+            }
+            self.stats.stores_written += writes as u64;
+        }
+
+        // Loads access once disambiguated against all older stores. One
+        // forward pass replaces the per-load backward scans: a load is
+        // blocked iff any older store is unresolved (address unknown or
+        // not yet computed), and — when none is — it forwards iff some
+        // older resolved store matches its address, which the pass
+        // accumulates in `store_addrs` as it walks. The whole pass is
+        // skipped when no load has a computed, unresolved address.
+        if self.ready_loads == 0 {
+            return;
+        }
+        let mut reads = 0usize;
+        let mut older_unresolved = false;
+        self.store_addrs.clear();
+        let l1_latency = mem.config().l1d.latency;
+        for idx in 0..self.entries.len() {
+            let e = &self.entries[idx];
+            if e.is_store {
+                match e.state {
+                    State::WaitingEa => older_unresolved = true,
+                    State::Ready(at) if at > now => older_unresolved = true,
                     _ => {
-                        if older.addr == addr {
-                            forward_from = Some(j);
+                        // Once one store is unresolved every later load is
+                        // blocked, so the address set stops mattering.
+                        if !older_unresolved {
+                            let addr = e.addr;
+                            self.store_addrs.push(addr);
                         }
                     }
                 }
+                continue;
             }
-            if blocked {
+            let State::Ready(at) = e.state else { continue };
+            if at > now {
+                continue;
+            }
+            if reads >= self.read_ports {
+                break;
+            }
+            if older_unresolved {
                 self.stats.disambiguation_stalls += 1;
                 continue;
             }
-            let l1_latency = mem.config().l1d.latency;
-            if forward_from.is_some() {
+            let (tag, pc, addr, predicted_hit) = (e.tag, e.pc, e.addr, e.predicted_hit);
+            if self.store_addrs.contains(&addr) {
                 // Store-to-load forwarding at L1-hit latency.
                 self.stats.forwards += 1;
                 self.stats.loads_issued += 1;
                 reads += 1;
                 self.entries[idx].state = State::Done;
+                self.ready_loads -= 1;
                 events.push(LsqEvent::LoadResolved {
                     tag,
-                    pc: self.entries[idx].pc,
-                    predicted_hit: self.entries[idx].predicted_hit,
+                    pc,
+                    predicted_hit,
                     completes_at: now + l1_latency,
                     l1_resolved_at: now + l1_latency,
                     was_l1_hit: true,
@@ -240,10 +287,11 @@ impl Lsq {
                     self.stats.loads_issued += 1;
                     reads += 1;
                     self.entries[idx].state = State::Done;
+                    self.ready_loads -= 1;
                     events.push(LsqEvent::LoadResolved {
                         tag,
-                        pc: self.entries[idx].pc,
-                        predicted_hit: self.entries[idx].predicted_hit,
+                        pc,
+                        predicted_hit,
                         completes_at: out.completes_at,
                         l1_resolved_at: out.l1_resolved_at,
                         was_l1_hit: out.serviced_by == ServicedBy::L1,
@@ -255,7 +303,6 @@ impl Lsq {
                 }
             }
         }
-        events
     }
 }
 
@@ -336,11 +383,21 @@ impl chainiq_ckpt::Pack for Lsq {
     }
     fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
         use chainiq_ckpt::Pack;
+        let entries: VecDeque<LsqEntry> = Pack::unpack(r)?;
+        // The skip counters are derived state, recomputed rather than
+        // serialized so the wire format is unchanged.
+        let committed_stores = entries.iter().filter(|e| e.is_store && e.committed).count();
+        let ready_loads =
+            entries.iter().filter(|e| !e.is_store && matches!(e.state, State::Ready(_))).count();
         Ok(Lsq {
-            entries: Pack::unpack(r)?,
+            entries,
             read_ports: Pack::unpack(r)?,
             write_ports: Pack::unpack(r)?,
             stats: Pack::unpack(r)?,
+            written: Vec::new(),
+            store_addrs: Vec::new(),
+            committed_stores,
+            ready_loads,
         })
     }
 }
@@ -354,15 +411,22 @@ mod tests {
         Hierarchy::new(MemConfig::default())
     }
 
+    /// Test shim: one cycle, events collected into a fresh vec.
+    fn run_cycle(lsq: &mut Lsq, now: Cycle, m: &mut Hierarchy) -> Vec<LsqEvent> {
+        let mut events = Vec::new();
+        lsq.cycle(now, m, &mut events);
+        events
+    }
+
     #[test]
     fn load_waits_for_ea() {
         let mut lsq = Lsq::new(8, 8);
         let mut m = mem();
         lsq.push(InstTag(0), 0x40, 0x1000, false, false);
-        assert!(lsq.cycle(0, &mut m).is_empty());
+        assert!(run_cycle(&mut lsq, 0, &mut m).is_empty());
         lsq.ea_computed(InstTag(0), 2);
-        assert!(lsq.cycle(1, &mut m).is_empty(), "EA not ready until cycle 2");
-        let ev = lsq.cycle(2, &mut m);
+        assert!(run_cycle(&mut lsq, 1, &mut m).is_empty(), "EA not ready until cycle 2");
+        let ev = run_cycle(&mut lsq, 2, &mut m);
         assert_eq!(ev.len(), 1);
         assert!(matches!(ev[0], LsqEvent::LoadResolved { tag: InstTag(0), .. }));
     }
@@ -374,10 +438,10 @@ mod tests {
         lsq.push(InstTag(0), 0x40, 0x1000, true, false); // older store, EA unknown
         lsq.push(InstTag(1), 0x44, 0x2000, false, false);
         lsq.ea_computed(InstTag(1), 0);
-        assert!(lsq.cycle(0, &mut m).is_empty(), "unknown store blocks the load");
+        assert!(run_cycle(&mut lsq, 0, &mut m).is_empty(), "unknown store blocks the load");
         assert!(lsq.stats().disambiguation_stalls > 0);
         lsq.ea_computed(InstTag(0), 1);
-        let ev = lsq.cycle(1, &mut m);
+        let ev = run_cycle(&mut lsq, 1, &mut m);
         assert_eq!(ev.len(), 1, "disambiguated: different addresses");
     }
 
@@ -389,7 +453,7 @@ mod tests {
         lsq.push(InstTag(1), 0x44, 0x1000, false, false);
         lsq.ea_computed(InstTag(0), 0);
         lsq.ea_computed(InstTag(1), 0);
-        let ev = lsq.cycle(0, &mut m);
+        let ev = run_cycle(&mut lsq, 0, &mut m);
         match ev[0] {
             LsqEvent::LoadResolved { forwarded, was_l1_hit, completes_at, .. } => {
                 assert!(forwarded);
@@ -408,9 +472,9 @@ mod tests {
         let mut m = mem();
         lsq.push(InstTag(0), 0x40, 0x1000, true, false);
         lsq.ea_computed(InstTag(0), 0);
-        assert!(lsq.cycle(0, &mut m).is_empty(), "uncommitted store does not write");
+        assert!(run_cycle(&mut lsq, 0, &mut m).is_empty(), "uncommitted store does not write");
         lsq.on_commit(InstTag(0));
-        let ev = lsq.cycle(1, &mut m);
+        let ev = run_cycle(&mut lsq, 1, &mut m);
         assert!(matches!(ev[0], LsqEvent::StoreWritten { tag: InstTag(0) }));
         assert_eq!(lsq.len(), 0, "written store leaves the queue");
     }
@@ -421,7 +485,7 @@ mod tests {
         let mut m = mem();
         lsq.push(InstTag(0), 0x40, 0x1000, false, false);
         lsq.ea_computed(InstTag(0), 0);
-        lsq.cycle(0, &mut m);
+        run_cycle(&mut lsq, 0, &mut m);
         lsq.on_commit(InstTag(0));
         assert_eq!(lsq.len(), 0);
     }
@@ -434,8 +498,8 @@ mod tests {
             lsq.push(InstTag(i), 0x40 + i * 4, 0x1000 + i * 4096, false, false);
             lsq.ea_computed(InstTag(i), 0);
         }
-        assert_eq!(lsq.cycle(0, &mut m).len(), 2);
-        assert_eq!(lsq.cycle(1, &mut m).len(), 2);
+        assert_eq!(run_cycle(&mut lsq, 0, &mut m).len(), 2);
+        assert_eq!(run_cycle(&mut lsq, 1, &mut m).len(), 2);
     }
 
     #[test]
@@ -454,7 +518,7 @@ mod tests {
         lsq.push(InstTag(1), 0x44, 0x1008, false, false); // same 64B line, next word
         lsq.ea_computed(InstTag(0), 0);
         lsq.ea_computed(InstTag(1), 0);
-        let ev = lsq.cycle(0, &mut m);
+        let ev = run_cycle(&mut lsq, 0, &mut m);
         match ev[0] {
             LsqEvent::LoadResolved { forwarded, .. } => assert!(!forwarded),
             other => panic!("{other:?}"),

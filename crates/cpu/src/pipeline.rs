@@ -3,7 +3,9 @@
 
 use std::collections::BTreeMap;
 
-use chainiq_core::{DispatchInfo, FuPool, InstTag, IssueQueue, OperandPick, SrcOperand};
+use chainiq_core::{
+    DispatchInfo, FuPool, InstTag, IssueQueue, OperandPick, SrcOperand, TagMap, Wheel,
+};
 use chainiq_isa::{Cycle, Inst, OpClass};
 use chainiq_mem::Hierarchy;
 use chainiq_predict::{HitMissPredictor, HybridBranchPredictor, LeftRightPredictor, Operand};
@@ -14,6 +16,11 @@ use crate::lsq::{Lsq, LsqEvent};
 use crate::rename::RenameState;
 use crate::rob::{Rob, RobEntry, RobState};
 use crate::stats::SimStats;
+
+/// Event-wheel size: most completions land within the function-unit and
+/// L1/L2 latency window; longer waits (main memory) ride the wheel's
+/// far-future path at one compare per revolution.
+pub(crate) const EVENT_WHEEL_BUCKETS: usize = 512;
 
 /// Deferred timing events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,8 +53,13 @@ pub struct Pipeline<Q, W> {
     hmp: HitMissPredictor,
     lrp: LeftRightPredictor,
     rename: RenameState,
-    events: BTreeMap<Cycle, Vec<Event>>,
-    completion_time: BTreeMap<InstTag, Cycle>,
+    /// Deferred completions/misses/fills, bucketed by delivery cycle.
+    events: Wheel<Event>,
+    /// Scratch for draining `events` without a per-cycle allocation.
+    events_scratch: Vec<Event>,
+    /// Scratch for the LSQ's per-cycle event report.
+    lsq_events: Vec<LsqEvent>,
+    completion_time: TagMap<Cycle>,
     next_tag: u64,
     in_flight: usize,
     /// Branch the front end is stalled behind, once dispatched.
@@ -79,8 +91,10 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
             hmp: HitMissPredictor::default(),
             lrp: LeftRightPredictor::default(),
             rename: RenameState::new(),
-            events: BTreeMap::new(),
-            completion_time: BTreeMap::new(),
+            events: Wheel::new(EVENT_WHEEL_BUCKETS),
+            events_scratch: Vec::new(),
+            lsq_events: Vec::new(),
+            completion_time: TagMap::new(),
             next_tag: 0,
             in_flight: 0,
             redirect_waiting: None,
@@ -167,7 +181,7 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
     }
 
     fn schedule(&mut self, at: Cycle, ev: Event) {
-        self.events.entry(at.max(self.now + 1)).or_default().push(ev);
+        self.events.schedule(at.max(self.now + 1), ev);
     }
 
     /// A producer's completion time became known: broadcast it and wake
@@ -175,10 +189,12 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
     fn announce(&mut self, tag: InstTag, ready_at: Cycle) {
         self.iq.announce_ready(tag, ready_at);
         self.rename.announce(tag, ready_at);
-        self.completion_time.insert(tag, ready_at);
-        if let Some(stores) = self.waiting_stores.remove(&tag) {
-            for st in stores {
-                self.schedule(ready_at, Event::Complete(st));
+        self.completion_time.insert(tag.0, ready_at);
+        if !self.waiting_stores.is_empty() {
+            if let Some(stores) = self.waiting_stores.remove(&tag) {
+                for st in stores {
+                    self.schedule(ready_at, Event::Complete(st));
+                }
             }
         }
     }
@@ -190,15 +206,16 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
         self.fus.next_cycle();
 
         // 1. Deliver timing events due this cycle.
-        if let Some(evs) = self.events.remove(&now) {
-            for ev in evs {
-                match ev {
-                    Event::LoadMiss(tag) => self.iq.on_load_miss(tag),
-                    Event::LoadFill(tag) => self.iq.on_load_fill(tag),
-                    Event::Complete(tag) => self.complete(tag),
-                }
+        let mut evs = std::mem::take(&mut self.events_scratch);
+        self.events.drain_into(now, &mut evs);
+        for ev in evs.drain(..) {
+            match ev {
+                Event::LoadMiss(tag) => self.iq.on_load_miss(tag),
+                Event::LoadFill(tag) => self.iq.on_load_fill(tag),
+                Event::Complete(tag) => self.complete(tag),
             }
         }
+        self.events_scratch = evs;
 
         // 2. Advance the queue. "Execution idle" for the §4.5 deadlock
         // detector means no pending timing event can change queue state
@@ -210,7 +227,9 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
         self.rob.sample_occupancy();
 
         // 3. Memory scheduling.
-        for ev in self.lsq.cycle(now, &mut self.mem) {
+        let mut lsq_events = std::mem::take(&mut self.lsq_events);
+        self.lsq.cycle(now, &mut self.mem, &mut lsq_events);
+        for ev in lsq_events.drain(..) {
             match ev {
                 LsqEvent::LoadResolved {
                     tag,
@@ -237,6 +256,7 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
                 LsqEvent::StoreWritten { .. } => {}
             }
         }
+        self.lsq_events = lsq_events;
 
         // 4. Issue.
         for sel in self.iq.select_issue(now, &mut self.fus) {
@@ -283,20 +303,22 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
             };
             let inst = fetched.inst;
             let tag = InstTag(self.next_tag);
-            let mut srcs: Vec<_> = inst.srcs().iter().map(|&r| self.rename.src(r)).collect();
+            let regs = inst.srcs();
+            let src0 = regs.first().map(|&r| self.rename.src(r));
+            let mut src1 = regs.get(1).map(|&r| self.rename.src(r));
             // A store's IQ entry is its address generation (base operand
             // only); the data operand is tracked by the pipeline and
             // gates completion, not address issue.
             let mut store_data: Option<SrcOperand> = None;
-            if inst.is_store() && srcs.len() == 2 {
-                store_data = srcs.pop();
+            if inst.is_store() && src1.is_some() {
+                store_data = src1.take();
             }
             let predicted_hit = if inst.is_load() && self.config.use_hmp {
                 self.hmp.predict_hit(inst.pc)
             } else {
                 false
             };
-            let lrp_pick = if self.config.use_lrp && srcs.len() == 2 {
+            let lrp_pick = if self.config.use_lrp && src1.is_some() {
                 Some(match self.lrp.predict(inst.pc) {
                     Operand::Left => OperandPick::Left,
                     Operand::Right => OperandPick::Right,
@@ -308,7 +330,7 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
                 tag,
                 op: inst.op,
                 dest: inst.dest,
-                srcs: [srcs.first().copied(), srcs.get(1).copied()],
+                srcs: [src0, src1],
                 predicted_hit,
                 lrp_pick,
                 thread: 0,
@@ -335,10 +357,7 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
                 tag,
                 inst,
                 state: RobState::Dispatched,
-                src_producers: [
-                    srcs.first().and_then(|s| s.producer),
-                    srcs.get(1).and_then(|s| s.producer),
-                ],
+                src_producers: [src0.and_then(|s| s.producer), src1.and_then(|s| s.producer)],
             });
         }
 
@@ -346,8 +365,11 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
         for e in self.rob.commit(self.config.commit_width) {
             self.rename.retire(e.inst.dest, e.tag);
             self.lsq.on_commit(e.tag);
-            self.completion_time.remove(&e.tag);
-            self.store_value.remove(&e.tag);
+            self.completion_time.remove(e.tag.0);
+            // Only stores ever park a data operand here.
+            if e.inst.is_store() {
+                self.store_value.remove(&e.tag);
+            }
         }
 
         // 7. Fetch.
@@ -365,8 +387,8 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
         let Some(producer) = data.producer else {
             return Ok(self.now + 1);
         };
-        if let Some(t) = self.completion_time.get(&producer) {
-            return Ok(*t);
+        if let Some(t) = self.completion_time.get(producer.0) {
+            return Ok(t);
         }
         if let Some(t) = data.known_ready_at {
             return Ok(t);
@@ -390,8 +412,8 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> Pipeline<Q, W> {
         if let Some((pc, [Some(a), Some(b)])) =
             self.rob.get(tag).map(|e| (e.inst.pc, e.src_producers))
         {
-            let ta = self.completion_time.get(&a).copied().unwrap_or(0);
-            let tb = self.completion_time.get(&b).copied().unwrap_or(0);
+            let ta = self.completion_time.get(a.0).unwrap_or(0);
+            let tb = self.completion_time.get(b.0).unwrap_or(0);
             let later = if tb > ta { Operand::Right } else { Operand::Left };
             self.lrp.update(pc, later);
         }
@@ -434,7 +456,7 @@ where
     W: Iterator<Item = Inst> + chainiq_ckpt::Snapshot,
 {
     const COMPONENT: &'static str = "cpu.pipeline";
-    const VERSION: u16 = 1;
+    const VERSION: u16 = 2;
 
     /// The machine configuration is not serialized (restore targets a
     /// pipeline already built from it); a fingerprint of its debug
@@ -456,8 +478,11 @@ where
         self.lsq.pack(w);
         self.fus.pack(w);
         self.rename.pack(w);
-        self.events.pack(w);
-        self.completion_time.pack(w);
+        // Canonical forms: the wheel dumps in drain order, the tag map in
+        // ascending-key order, so the bytes are independent of how the
+        // live structures were built.
+        self.events.entries_sorted().pack(w);
+        self.completion_time.to_sorted_vec().pack(w);
         self.next_tag.pack(w);
         self.in_flight.pack(w);
         self.redirect_waiting.pack(w);
@@ -486,8 +511,8 @@ where
         let lsq: Lsq = Pack::unpack(r)?;
         let fus: FuPool = Pack::unpack(r)?;
         let rename: RenameState = Pack::unpack(r)?;
-        let events: BTreeMap<Cycle, Vec<Event>> = Pack::unpack(r)?;
-        let completion_time: BTreeMap<InstTag, Cycle> = Pack::unpack(r)?;
+        let events: Vec<(Cycle, Event)> = Pack::unpack(r)?;
+        let completion_time: Vec<(u64, Cycle)> = Pack::unpack(r)?;
         let next_tag: u64 = Pack::unpack(r)?;
         let in_flight: usize = Pack::unpack(r)?;
         let redirect_waiting: Option<InstTag> = Pack::unpack(r)?;
@@ -500,8 +525,20 @@ where
         self.lsq = lsq;
         self.fus = fus;
         self.rename = rename;
-        self.events = events;
-        self.completion_time = completion_time;
+        // Pending events are all strictly in the future (delivery empties
+        // a cycle's bucket before the snapshot boundary), so rebasing the
+        // wheel at `now` and replaying in drain order reproduces the live
+        // wheel's delivery sequence exactly.
+        self.events.reset(now);
+        for (c, ev) in events {
+            self.events.schedule(c, ev);
+        }
+        self.events_scratch.clear();
+        self.lsq_events.clear();
+        self.completion_time.clear();
+        for (k, v) in completion_time {
+            self.completion_time.insert(k, v);
+        }
         self.next_tag = next_tag;
         self.in_flight = in_flight;
         self.redirect_waiting = redirect_waiting;

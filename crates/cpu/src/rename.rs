@@ -1,8 +1,6 @@
 //! Register renaming: architectural register → in-flight producer.
 
-use std::collections::BTreeMap;
-
-use chainiq_core::{InstTag, SrcOperand};
+use chainiq_core::{InstTag, SrcOperand, TagMap};
 use chainiq_isa::{ArchReg, Cycle, NUM_ARCH_REGS};
 
 /// The rename map plus a scoreboard of announced completion times.
@@ -15,23 +13,21 @@ use chainiq_isa::{ArchReg, Cycle, NUM_ARCH_REGS};
 #[derive(Debug, Clone)]
 pub(crate) struct RenameState {
     map: [Option<InstTag>; NUM_ARCH_REGS],
-    ready_time: BTreeMap<InstTag, Cycle>,
+    ready_time: TagMap<Cycle>,
 }
 
 impl RenameState {
     pub(crate) fn new() -> Self {
-        RenameState { map: [None; NUM_ARCH_REGS], ready_time: BTreeMap::new() }
+        RenameState { map: [None; NUM_ARCH_REGS], ready_time: TagMap::new() }
     }
 
     /// Renames one source register.
     pub(crate) fn src(&self, reg: ArchReg) -> SrcOperand {
         match self.map[reg.index()] {
             None => SrcOperand::ready(reg),
-            Some(tag) => SrcOperand {
-                reg,
-                producer: Some(tag),
-                known_ready_at: self.ready_time.get(&tag).copied(),
-            },
+            Some(tag) => {
+                SrcOperand { reg, producer: Some(tag), known_ready_at: self.ready_time.get(tag.0) }
+            }
         }
     }
 
@@ -42,13 +38,13 @@ impl RenameState {
 
     /// Records the announced completion time of `tag`.
     pub(crate) fn announce(&mut self, tag: InstTag, ready_at: Cycle) {
-        self.ready_time.insert(tag, ready_at);
+        self.ready_time.insert(tag.0, ready_at);
     }
 
     /// The announced completion time of `tag`, if known.
     #[cfg(test)]
     pub(crate) fn ready_time(&self, tag: InstTag) -> Option<Cycle> {
-        self.ready_time.get(&tag).copied()
+        self.ready_time.get(tag.0)
     }
 
     /// Retires `tag`: if it is still the newest producer of `reg`, the
@@ -59,7 +55,7 @@ impl RenameState {
                 self.map[reg.index()] = None;
             }
         }
-        self.ready_time.remove(&tag);
+        self.ready_time.remove(tag.0);
     }
 
     /// Clears all in-flight state (pipeline flush).
@@ -73,11 +69,19 @@ impl RenameState {
 impl chainiq_ckpt::Pack for RenameState {
     fn pack(&self, w: &mut chainiq_ckpt::Writer) {
         self.map.pack(w);
-        self.ready_time.pack(w);
+        // Canonical sorted-pair form — byte-identical to the BTreeMap
+        // encoding this field used before the TagMap conversion.
+        self.ready_time.to_sorted_vec().pack(w);
     }
     fn unpack(r: &mut chainiq_ckpt::Reader<'_>) -> Result<Self, chainiq_ckpt::CkptError> {
         use chainiq_ckpt::Pack;
-        Ok(RenameState { map: Pack::unpack(r)?, ready_time: Pack::unpack(r)? })
+        let map = Pack::unpack(r)?;
+        let pairs: Vec<(u64, Cycle)> = Pack::unpack(r)?;
+        let mut ready_time = TagMap::new();
+        for (k, v) in pairs {
+            ready_time.insert(k, v);
+        }
+        Ok(RenameState { map, ready_time })
     }
 }
 

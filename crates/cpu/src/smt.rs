@@ -20,7 +20,9 @@
 
 use std::collections::BTreeMap;
 
-use chainiq_core::{DispatchInfo, FuPool, InstTag, IssueQueue, OperandPick, SrcOperand};
+use chainiq_core::{
+    DispatchInfo, FuPool, InstTag, IssueQueue, OperandPick, SrcOperand, TagMap, Wheel,
+};
 use chainiq_isa::{Cycle, Inst, OpClass};
 use chainiq_mem::Hierarchy;
 use chainiq_predict::{HitMissPredictor, HybridBranchPredictor, LeftRightPredictor, Operand};
@@ -28,6 +30,7 @@ use chainiq_predict::{HitMissPredictor, HybridBranchPredictor, LeftRightPredicto
 use crate::config::SimConfig;
 use crate::frontend::Frontend;
 use crate::lsq::{Lsq, LsqEvent};
+use crate::pipeline::EVENT_WHEEL_BUCKETS;
 use crate::rename::RenameState;
 use crate::rob::{Rob, RobEntry, RobState};
 use crate::stats::SimStats;
@@ -65,14 +68,18 @@ pub struct SmtPipeline<Q, W> {
     bp: HybridBranchPredictor,
     hmp: HitMissPredictor,
     lrp: LeftRightPredictor,
-    events: BTreeMap<Cycle, Vec<Event>>,
-    completion_time: BTreeMap<InstTag, Cycle>,
-    thread_of: BTreeMap<InstTag, u8>,
+    events: Wheel<Event>,
+    /// Scratch for draining `events` without a per-cycle allocation.
+    events_scratch: Vec<Event>,
+    completion_time: TagMap<Cycle>,
+    thread_of: TagMap<u8>,
     store_value: BTreeMap<InstTag, SrcOperand>,
     waiting_stores: BTreeMap<InstTag, Vec<InstTag>>,
     next_tag: u64,
     fetch_rr: usize,
     dispatch_rr: usize,
+    /// Scratch for each thread's per-cycle LSQ event report.
+    lsq_events: Vec<LsqEvent>,
     stats: SimStats,
 }
 
@@ -109,14 +116,16 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> SmtPipeline<Q, W> {
             bp: HybridBranchPredictor::new(config.branch),
             hmp: HitMissPredictor::default(),
             lrp: LeftRightPredictor::default(),
-            events: BTreeMap::new(),
-            completion_time: BTreeMap::new(),
-            thread_of: BTreeMap::new(),
+            events: Wheel::new(EVENT_WHEEL_BUCKETS),
+            events_scratch: Vec::new(),
+            completion_time: TagMap::new(),
+            thread_of: TagMap::new(),
             store_value: BTreeMap::new(),
             waiting_stores: BTreeMap::new(),
             next_tag: 0,
             fetch_rr: 0,
             dispatch_rr: 0,
+            lsq_events: Vec::new(),
             stats: SimStats::default(),
             config,
         }
@@ -188,18 +197,20 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> SmtPipeline<Q, W> {
     }
 
     fn schedule(&mut self, at: Cycle, ev: Event) {
-        self.events.entry(at.max(self.now + 1)).or_default().push(ev);
+        self.events.schedule(at.max(self.now + 1), ev);
     }
 
     fn announce(&mut self, tag: InstTag, ready_at: Cycle) {
         self.iq.announce_ready(tag, ready_at);
-        if let Some(&t) = self.thread_of.get(&tag) {
+        if let Some(t) = self.thread_of.get(tag.0) {
             self.threads[t as usize].rename.announce(tag, ready_at);
         }
-        self.completion_time.insert(tag, ready_at);
-        if let Some(stores) = self.waiting_stores.remove(&tag) {
-            for st in stores {
-                self.schedule(ready_at, Event::Complete(st));
+        self.completion_time.insert(tag.0, ready_at);
+        if !self.waiting_stores.is_empty() {
+            if let Some(stores) = self.waiting_stores.remove(&tag) {
+                for st in stores {
+                    self.schedule(ready_at, Event::Complete(st));
+                }
             }
         }
     }
@@ -215,13 +226,13 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> SmtPipeline<Q, W> {
         let Some(producer) = data.producer else {
             return Ok(self.now + 1);
         };
-        if let Some(t) = self.completion_time.get(&producer) {
-            return Ok(*t);
+        if let Some(t) = self.completion_time.get(producer.0) {
+            return Ok(t);
         }
         if let Some(t) = data.known_ready_at {
             return Ok(t);
         }
-        let thread = self.thread_of.get(&producer).copied().unwrap_or(0) as usize;
+        let thread = self.thread_of.get(producer.0).unwrap_or(0) as usize;
         match self.threads[thread].rob.get(producer) {
             None => Ok(self.now + 1),
             Some(e) if e.state == RobState::Completed => Ok(self.now + 1),
@@ -230,7 +241,7 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> SmtPipeline<Q, W> {
     }
 
     fn complete(&mut self, tag: InstTag) {
-        let Some(&thread) = self.thread_of.get(&tag) else {
+        let Some(thread) = self.thread_of.get(tag.0) else {
             return;
         };
         let ctx = &mut self.threads[thread as usize];
@@ -239,8 +250,8 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> SmtPipeline<Q, W> {
         if let Some((pc, [Some(a), Some(b)])) =
             self.threads[thread as usize].rob.get(tag).map(|e| (e.inst.pc, e.src_producers))
         {
-            let ta = self.completion_time.get(&a).copied().unwrap_or(0);
-            let tb = self.completion_time.get(&b).copied().unwrap_or(0);
+            let ta = self.completion_time.get(a.0).unwrap_or(0);
+            let tb = self.completion_time.get(b.0).unwrap_or(0);
             let later = if tb > ta { Operand::Right } else { Operand::Left };
             self.lrp.update(pc, later);
         }
@@ -253,15 +264,16 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> SmtPipeline<Q, W> {
         self.fus.next_cycle();
 
         // 1. Timing events.
-        if let Some(evs) = self.events.remove(&now) {
-            for ev in evs {
-                match ev {
-                    Event::LoadMiss(tag) => self.iq.on_load_miss(tag),
-                    Event::LoadFill(tag) => self.iq.on_load_fill(tag),
-                    Event::Complete(tag) => self.complete(tag),
-                }
+        let mut evs = std::mem::take(&mut self.events_scratch);
+        self.events.drain_into(now, &mut evs);
+        for ev in evs.drain(..) {
+            match ev {
+                Event::LoadMiss(tag) => self.iq.on_load_miss(tag),
+                Event::LoadFill(tag) => self.iq.on_load_fill(tag),
+                Event::Complete(tag) => self.complete(tag),
             }
         }
+        self.events_scratch = evs;
 
         // 2. Queue tick.
         let execution_idle = self.events.is_empty();
@@ -269,8 +281,9 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> SmtPipeline<Q, W> {
 
         // 3. Memory scheduling, per thread.
         for t in 0..self.threads.len() {
-            let events = self.threads[t].lsq.cycle(now, &mut self.mem);
-            for ev in events {
+            let mut events = std::mem::take(&mut self.lsq_events);
+            self.threads[t].lsq.cycle(now, &mut self.mem, &mut events);
+            for ev in events.drain(..) {
                 match ev {
                     LsqEvent::LoadResolved {
                         tag,
@@ -295,11 +308,12 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> SmtPipeline<Q, W> {
                     LsqEvent::StoreWritten { .. } => {}
                 }
             }
+            self.lsq_events = events;
         }
 
         // 4. Issue from the shared queue.
         for sel in self.iq.select_issue(now, &mut self.fus) {
-            let thread = self.thread_of.get(&sel.tag).copied().unwrap_or(0) as usize;
+            let thread = self.thread_of.get(sel.tag.0).unwrap_or(0) as usize;
             self.threads[thread].rob.mark(sel.tag, RobState::Issued);
             match sel.op {
                 OpClass::Load | OpClass::Store => {
@@ -383,7 +397,7 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> SmtPipeline<Q, W> {
             self.next_tag += 1;
             dispatched += 1;
             self.stats.dispatched += 1;
-            self.thread_of.insert(tag, t as u8);
+            self.thread_of.insert(tag.0, t as u8);
             if let Some(mem) = inst.mem {
                 self.threads[t].lsq.push(tag, inst.pc, mem.addr, inst.is_store(), predicted_hit);
             }
@@ -413,9 +427,11 @@ impl<Q: IssueQueue, W: Iterator<Item = Inst>> SmtPipeline<Q, W> {
             for e in self.threads[t].rob.commit(share) {
                 self.threads[t].rename.retire(e.inst.dest, e.tag);
                 self.threads[t].lsq.on_commit(e.tag);
-                self.completion_time.remove(&e.tag);
-                self.store_value.remove(&e.tag);
-                self.thread_of.remove(&e.tag);
+                self.completion_time.remove(e.tag.0);
+                if e.inst.is_store() {
+                    self.store_value.remove(&e.tag);
+                }
+                self.thread_of.remove(e.tag.0);
             }
         }
 

@@ -50,10 +50,24 @@ struct Entry {
 pub struct MshrFile {
     capacity: usize,
     entries: Vec<Entry>,
+    /// One-word summary of the lines in `entries`: bit `hash(line)` is
+    /// set for every entry present. `outstanding` is called on every
+    /// cache access and almost always finds nothing in flight, so the
+    /// common case must not scan the file; a clear filter bit proves
+    /// absence. Bits can be stale-set (entries expire lazily), which
+    /// only costs a wasted scan, never a wrong answer.
+    line_filter: u64,
     peak_in_use: usize,
     total_allocations: u64,
     total_merges: u64,
     total_rejections: u64,
+}
+
+/// Maps a line address onto a `line_filter` bit. Line addresses share
+/// low zero bits, so spread them with a multiplicative hash first.
+#[inline]
+fn filter_bit(line: u64) -> u64 {
+    1u64 << (line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58)
 }
 
 impl MshrFile {
@@ -68,6 +82,7 @@ impl MshrFile {
         MshrFile {
             capacity,
             entries: Vec::with_capacity(capacity),
+            line_filter: 0,
             peak_in_use: 0,
             total_allocations: 0,
             total_merges: 0,
@@ -77,6 +92,7 @@ impl MshrFile {
 
     fn expire(&mut self, now: Cycle) {
         self.entries.retain(|e| e.fill_at > now);
+        self.line_filter = self.entries.iter().fold(0, |f, e| f | filter_bit(e.line));
     }
 
     /// Requests tracking for a miss on `line` whose fill would land at
@@ -94,6 +110,7 @@ impl MshrFile {
             return MshrGrant::Exhausted;
         }
         self.entries.push(Entry { line, fill_at, merged: 0 });
+        self.line_filter |= filter_bit(line);
         self.total_allocations += 1;
         self.peak_in_use = self.peak_in_use.max(self.entries.len());
         MshrGrant::Allocated
@@ -102,6 +119,9 @@ impl MshrFile {
     /// Returns the outstanding fill time for `line`, if one is in flight.
     #[must_use]
     pub fn outstanding(&self, now: Cycle, line: u64) -> Option<Cycle> {
+        if self.line_filter & filter_bit(line) == 0 {
+            return None; // proven absent without scanning the file
+        }
         self.entries.iter().find(|e| e.line == line && e.fill_at > now).map(|e| e.fill_at)
     }
 
@@ -166,9 +186,11 @@ impl chainiq_ckpt::Pack for MshrFile {
                 context: format!("MSHR file: {} entries in capacity {capacity}", entries.len()),
             });
         }
+        let line_filter = entries.iter().fold(0, |f, e| f | filter_bit(e.line));
         Ok(MshrFile {
             capacity,
             entries,
+            line_filter,
             peak_in_use: Pack::unpack(r)?,
             total_allocations: Pack::unpack(r)?,
             total_merges: Pack::unpack(r)?,

@@ -16,15 +16,18 @@ cargo test -q --offline --workspace
 echo "== cargo clippy --offline (-D warnings)"
 cargo clippy --offline --workspace -- -D warnings
 
-echo "== chainiq-analyze (project-specific invariants)"
-cargo run -p chainiq-analyze --release --offline
+echo "== chainiq-analyze (project-specific invariants, tight ratchets)"
+ANALYZE_JSON="$(mktemp)"
+trap 'rm -f "$ANALYZE_JSON"' EXIT  # widened below once PERF_DIR exists
+cargo run -p chainiq-analyze --release --offline -- --check-tight --json "$ANALYZE_JSON"
+[ -s "$ANALYZE_JSON" ] || { echo "ci.sh: analyze --json artifact missing or empty" >&2; exit 1; }
 
 echo "== cargo fmt --check"
 cargo fmt --check
 
 echo "== perf gate smoke: --bin perf at a tiny sample into a scratch dir"
 PERF_DIR="$(mktemp -d)"
-trap 'rm -rf "$PERF_DIR"' EXIT
+trap 'rm -f "$ANALYZE_JSON"; rm -rf "$PERF_DIR"' EXIT
 CHAINIQ_SAMPLE=1000 CHAINIQ_BENCH_DIR="$PERF_DIR" \
     CHAINIQ_GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     cargo run -p chainiq-bench --release --bin perf --offline >/dev/null
@@ -32,31 +35,11 @@ PERF_JSON="$PERF_DIR/BENCH_perf.json"
 PERF_HISTORY="$PERF_DIR/BENCH_perf_history.jsonl"
 [ -s "$PERF_JSON" ] || { echo "ci.sh: BENCH_perf.json missing or empty" >&2; exit 1; }
 [ -s "$PERF_HISTORY" ] || { echo "ci.sh: BENCH_perf_history.jsonl missing or empty" >&2; exit 1; }
-python3 - "$PERF_JSON" "$PERF_HISTORY" results/BENCH_perf.json <<'EOF'
-import json, sys
-with open(sys.argv[1]) as f:
-    doc = json.load(f)
-agg = doc["aggregate"]["sim_kcycles_per_sec"]
-assert doc["suite"] == "perf", doc["suite"]
-assert doc["points"], "no points"
-assert agg > 0, agg
-emitted = {p["point"] for p in doc["points"]}
-# Every history line is itself one JSON object covering the same matrix.
-with open(sys.argv[2]) as f:
-    lines = [json.loads(l) for l in f if l.strip()]
-assert lines, "history file has no records"
-last = lines[-1]
-assert {p["point"] for p in last["points"]} == emitted, "history point set drifted"
-assert last["rev"], "history line lacks a revision label"
-# The smoke run must cover exactly the matrix the committed artifact
-# records — a silently dropped or renamed point is a gate regression.
-with open(sys.argv[3]) as f:
-    committed = {p["point"] for p in json.load(f)["points"]}
-assert emitted == committed, (
-    f"matrix drifted from the committed artifact: "
-    f"only-emitted={sorted(emitted - committed)} only-committed={sorted(committed - emitted)}"
-)
-EOF
+# Artifact consistency is checked hermetically in Rust (no python3 in
+# the toolchain anymore): suite/points/aggregate sanity, history point
+# set + rev label, and matrix identity with the committed artifact.
+cargo run -p chainiq-analyze --release --offline -- \
+    --check-perf "$PERF_JSON" "$PERF_HISTORY" results/BENCH_perf.json
 
 echo "== sweep smoke: fig3 on 2 workers at a small sample"
 CHAINIQ_SAMPLE=2000 CHAINIQ_JOBS=2 \

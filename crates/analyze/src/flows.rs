@@ -1,0 +1,450 @@
+//! Flow-based rules over the workspace call graph: **H2** (transitive
+//! hot-path purity), **T1** (determinism taint), and the **R1**
+//! panic-reachability report.
+//!
+//! * **H2** runs a forward multi-source BFS from every hot-marked
+//!   function; any allocation fact in a callee at depth ≥ 1 is flagged
+//!   with a witness call path (depth 0 — the hot body itself — is P2's
+//!   province, so the two rules never double-report a site).
+//! * **T1** runs a *backward* multi-source BFS from every function
+//!   containing a nondeterminism source; any sink — a `Snapshot` impl
+//!   method, a `*Stats` impl method, or a public function of a sim
+//!   crate — reachable at depth ≥ 1 is flagged with the witness path
+//!   down to the source (direct uses at depth 0 are D1/D2/D3/S1's
+//!   province). Suppression is checked at the *source* fact: an
+//!   `allow(T1, …)` next to the offending read certifies the value never
+//!   corrupts determinism, killing every flow out of it.
+//! * **R1** never fails a run: it annotates every panic site with
+//!   whether a hot entry point can reach it, so the P1 ratchet cleanup
+//!   is ordered by blast radius.
+//!
+//! All traversals use index-ordered queues over `BTreeSet` adjacency, so
+//! witness paths and diagnostic order are deterministic run to run.
+
+use crate::callgraph::Graph;
+use crate::rules::{Diagnostic, RuleId, SIM_CRATES};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One row of the R1 panic-reachability report.
+#[derive(Debug, Clone)]
+pub struct PanicEntry {
+    /// Workspace-relative file of the panic site.
+    pub file: String,
+    /// 1-based line of the site.
+    pub line: u32,
+    /// The construct (`.unwrap()`, `panic!`, …).
+    pub what: String,
+    /// Name of the enclosing function.
+    pub function: String,
+    /// Whether a hot-marked entry point reaches the enclosing function.
+    pub hot_reachable: bool,
+    /// Witness call path from a hot root, when reachable.
+    pub witness: Option<String>,
+    /// Whether the site carries an `allow(R1, reason)` review marker.
+    pub justified: bool,
+}
+
+/// Shape of the call graph, surfaced in the summary and `--json`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphStats {
+    /// Non-test functions in the graph.
+    pub functions: usize,
+    /// Distinct candidate call edges.
+    pub edges: usize,
+    /// Hot-marked entry points.
+    pub hot_roots: usize,
+}
+
+/// Everything the flow pass produced, pre-ratchet.
+#[derive(Debug, Default)]
+pub(crate) struct FlowReport {
+    /// Unsuppressed H2 site diagnostics, keyed by allocation-site file.
+    pub(crate) h2: BTreeMap<String, Vec<Diagnostic>>,
+    /// Unsuppressed T1 sink diagnostics, keyed by sink file.
+    pub(crate) t1: BTreeMap<String, Vec<Diagnostic>>,
+    /// The R1 report, in path-sorted file order.
+    pub(crate) panic_report: Vec<PanicEntry>,
+    /// Graph shape for the summary line.
+    pub(crate) stats: GraphStats,
+}
+
+/// Runs all three flow analyses over the graph.
+pub(crate) fn analyze(g: &Graph) -> FlowReport {
+    let mut report = FlowReport {
+        stats: GraphStats {
+            functions: g.nodes.len(),
+            edges: g.edge_count,
+            hot_roots: g.nodes.iter().filter(|n| n.item.is_hot).count(),
+        },
+        ..FlowReport::default()
+    };
+
+    // ---- forward reachability from hot roots (H2 + R1) ----
+    let hot_roots: Vec<usize> = (0..g.nodes.len()).filter(|&i| g.nodes[i].item.is_hot).collect();
+    let fwd = bfs(&g.edges, &hot_roots);
+
+    for (v, n) in g.nodes.iter().enumerate() {
+        let Some(depth) = fwd.depth[v] else {
+            continue;
+        };
+        if depth == 0 {
+            continue; // the hot body itself is P2's province
+        }
+        for alloc in &n.item.allocs {
+            let suppressed =
+                g.markers.get(&n.file).is_some_and(|m| m.suppressed(RuleId::H2, alloc.line));
+            if suppressed {
+                continue;
+            }
+            let path = witness(g, &fwd, v, Direction::Forward);
+            report.h2.entry(n.file.clone()).or_default().push(Diagnostic {
+                file: n.file.clone(),
+                line: alloc.line,
+                rule: RuleId::H2,
+                message: format!(
+                    "{} allocates on a hot path: {path} → {}; per-cycle paths must not \
+                     allocate at any depth — hoist the buffer, or carry \
+                     `// chainiq-analyze: allow(H2, reason)` at this site (ratcheted under \
+                     [hot-alloc-budget])",
+                    alloc.what, alloc.what
+                ),
+            });
+        }
+    }
+
+    // ---- backward reachability from taint sources (T1) ----
+    // A node seeds the traversal if it holds at least one unsuppressed
+    // taint fact; the first such fact is the witness endpoint.
+    let mut source_fact: BTreeMap<usize, (String, u32)> = BTreeMap::new();
+    let mut sources = Vec::new();
+    for (v, n) in g.nodes.iter().enumerate() {
+        let fact =
+            n.item.taints.iter().find(|t| {
+                !g.markers.get(&n.file).is_some_and(|m| m.suppressed(RuleId::T1, t.line))
+            });
+        if let Some(t) = fact {
+            source_fact.insert(v, (t.what.clone(), t.line));
+            sources.push(v);
+        }
+    }
+    let bwd = bfs(&g.redges, &sources);
+
+    for (v, n) in g.nodes.iter().enumerate() {
+        let Some(depth) = bwd.depth[v] else {
+            continue;
+        };
+        if depth == 0 {
+            continue; // direct use: D1/D2/D3/S1 territory
+        }
+        let Some(sink_kind) = sink_kind(g, v) else {
+            continue;
+        };
+        let path = witness(g, &bwd, v, Direction::Backward);
+        // The witness ends at the seeding source node; name its fact.
+        let src = trace_end(&bwd, v);
+        let (what, line) = &source_fact[&src];
+        report.t1.entry(n.file.clone()).or_default().push(Diagnostic {
+            file: n.file.clone(),
+            line: n.item.line,
+            rule: RuleId::T1,
+            message: format!(
+                "{sink_kind} `{}` can reach a nondeterminism source: {path} → {what} at \
+                 {}:{line}; route the value out of the model, or carry \
+                 `// chainiq-analyze: allow(T1, reason)` at the source read (ratcheted under \
+                 [taint-budget])",
+                n.item.name, g.nodes[src].file
+            ),
+        });
+    }
+
+    // ---- R1: annotate every panic site with hot reachability ----
+    for (v, n) in g.nodes.iter().enumerate() {
+        if n.is_bin {
+            continue; // binaries may unwrap at the top level (as in P1)
+        }
+        for p in &n.item.panics {
+            let justified =
+                g.markers.get(&n.file).is_some_and(|m| m.suppressed(RuleId::R1, p.line));
+            let hot_reachable = fwd.depth[v].is_some();
+            report.panic_report.push(PanicEntry {
+                file: n.file.clone(),
+                line: p.line,
+                what: p.what.clone(),
+                function: n.item.name.clone(),
+                hot_reachable,
+                witness: hot_reachable.then(|| witness(g, &fwd, v, Direction::Forward)),
+                justified,
+            });
+        }
+    }
+
+    report
+}
+
+/// Which kind of T1 sink node `v` is, if any.
+fn sink_kind(g: &Graph, v: usize) -> Option<&'static str> {
+    let n = &g.nodes[v];
+    if n.item.trait_name.as_deref() == Some("Snapshot") {
+        return Some("Snapshot impl method");
+    }
+    let stats = |s: &Option<String>| s.as_deref().is_some_and(|t| t.ends_with("Stats"));
+    if stats(&n.item.impl_ty) || stats(&n.item.trait_name) {
+        return Some("Stats method");
+    }
+    if SIM_CRATES.contains(&n.crate_name.as_str()) && n.item.is_pub && !n.is_bin {
+        return Some("sim-crate public fn");
+    }
+    None
+}
+
+/// Multi-source BFS state: depth and BFS-tree parent per node.
+struct Bfs {
+    depth: Vec<Option<u32>>,
+    parent: Vec<Option<usize>>,
+}
+
+fn bfs(adj: &[std::collections::BTreeSet<usize>], roots: &[usize]) -> Bfs {
+    let mut state = Bfs { depth: vec![None; adj.len()], parent: vec![None; adj.len()] };
+    let mut q = VecDeque::new();
+    for &r in roots {
+        if state.depth[r].is_none() {
+            state.depth[r] = Some(0);
+            q.push_back(r);
+        }
+    }
+    while let Some(u) = q.pop_front() {
+        let du = state.depth[u].unwrap_or(0);
+        for &v in &adj[u] {
+            if state.depth[v].is_none() {
+                state.depth[v] = Some(du + 1);
+                state.parent[v] = Some(u);
+                q.push_back(v);
+            }
+        }
+    }
+    state
+}
+
+enum Direction {
+    /// The BFS ran over forward edges: the root is the path's head.
+    Forward,
+    /// The BFS ran over reverse edges: the root (a taint source) is the
+    /// path's tail — print from `v` down to it.
+    Backward,
+}
+
+/// The BFS-tree root reached by following parents up from `v`.
+fn trace_end(b: &Bfs, v: usize) -> usize {
+    let mut u = v;
+    while let Some(p) = b.parent[u] {
+        u = p;
+    }
+    u
+}
+
+/// Renders the witness path for `v` as `a.rs:10 (f) → b.rs:42 (g) → …`.
+fn witness(g: &Graph, b: &Bfs, v: usize, dir: Direction) -> String {
+    let mut hops = vec![v];
+    let mut u = v;
+    while let Some(p) = b.parent[u] {
+        hops.push(p);
+        u = p;
+    }
+    // Forward BFS discovered v from the root, so parents lead *back* to
+    // the root: reverse to print root-first. Backward BFS parents lead
+    // to the source, which is exactly sink-first order already.
+    if matches!(dir, Direction::Forward) {
+        hops.reverse();
+    }
+    hops.iter().map(|&h| g.nodes[h].describe()).collect::<Vec<_>>().join(" → ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+    use crate::parser::parse_file;
+    use std::collections::BTreeSet;
+
+    fn flow_of(files: &[(&str, &str, &str)]) -> FlowReport {
+        let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (c, _, _) in files {
+            deps.insert(
+                (*c).to_string(),
+                files.iter().map(|(c2, _, _)| (*c2).to_string()).collect(),
+            );
+        }
+        let g =
+            build(files.iter().map(|(c, f, src)| parse_file(c, f, src, false)).collect(), &deps);
+        analyze(&g)
+    }
+
+    #[test]
+    fn h2_flags_transitive_allocation_with_witness() {
+        let r = flow_of(&[(
+            "core",
+            "crates/core/src/a.rs",
+            "// chainiq-analyze: hot\n\
+             pub fn tick() { helper(); }\n\
+             fn helper() { let _v = Vec::new(); }\n",
+        )]);
+        let diags = &r.h2["crates/core/src/a.rs"];
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RuleId::H2);
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("a.rs:2 (tick) → "), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn h2_skips_depth_zero_and_unreachable_allocs() {
+        let r = flow_of(&[(
+            "core",
+            "crates/core/src/a.rs",
+            "// chainiq-analyze: hot\n\
+             pub fn tick() { let _v = Vec::new(); }\n\
+             fn cold() { let _v = Vec::new(); }\n",
+        )]);
+        assert!(r.h2.is_empty(), "depth-0 is P2's, cold is unreachable: {:?}", r.h2);
+    }
+
+    #[test]
+    fn h2_survives_recursion_cycles() {
+        let r = flow_of(&[(
+            "core",
+            "crates/core/src/a.rs",
+            "// chainiq-analyze: hot\n\
+             pub fn tick() { ping(); }\n\
+             fn ping() { pong(); }\n\
+             fn pong() { ping(); let _s = format!(\"x\"); }\n",
+        )]);
+        let diags = &r.h2["crates/core/src/a.rs"];
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("format!"));
+    }
+
+    #[test]
+    fn h2_suppression_at_site_wins() {
+        let r = flow_of(&[(
+            "core",
+            "crates/core/src/a.rs",
+            "// chainiq-analyze: hot\n\
+             pub fn tick() { helper(); }\n\
+             fn helper() {\n\
+             // chainiq-analyze: allow(H2, one-time growth amortized to zero)\n\
+             let _v = Vec::new();\n\
+             }\n",
+        )]);
+        assert!(r.h2.is_empty(), "{:?}", r.h2);
+    }
+
+    #[test]
+    fn t1_flags_sim_pub_fn_reaching_source() {
+        let r = flow_of(&[(
+            "core",
+            "crates/core/src/a.rs",
+            "pub fn api() { helper(); }\n\
+             fn helper() { let _t = std::thread::current(); }\n",
+        )]);
+        let diags = &r.t1["crates/core/src/a.rs"];
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RuleId::T1);
+        assert_eq!(diags[0].line, 1, "diagnostic anchors at the sink fn");
+        assert!(diags[0].message.contains("thread::current"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("(api) → "), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn t1_skips_direct_use_and_private_fns() {
+        let r = flow_of(&[(
+            "core",
+            "crates/core/src/a.rs",
+            "pub fn api() { let _t = std::thread::current(); }\n\
+             fn private() { helper(); }\n\
+             fn helper() { let _t = std::thread::current(); }\n",
+        )]);
+        assert!(r.t1.is_empty(), "direct use is D-rules'; private fns are not sinks: {:?}", r.t1);
+    }
+
+    #[test]
+    fn t1_source_suppression_kills_the_flow() {
+        let r = flow_of(&[(
+            "core",
+            "crates/core/src/a.rs",
+            "pub fn api() { helper(); }\n\
+             fn helper() {\n\
+             // chainiq-analyze: allow(T1, handle printed to stderr, never enters state)\n\
+             let _t = std::thread::current();\n\
+             }\n",
+        )]);
+        assert!(r.t1.is_empty(), "{:?}", r.t1);
+    }
+
+    #[test]
+    fn t1_snapshot_and_stats_sinks() {
+        let r = flow_of(&[(
+            "bench",
+            "crates/bench/src/a.rs",
+            "impl Snapshot for Thing { fn save(&self) { now(); } }\n\
+             impl RunStats { fn emit(&self) { now(); } }\n\
+             fn now() { let _t = std::thread::current(); }\n",
+        )]);
+        let diags = &r.t1["crates/bench/src/a.rs"];
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags[0].message.contains("Snapshot impl method"), "{}", diags[0].message);
+        assert!(diags[1].message.contains("Stats method"), "{}", diags[1].message);
+    }
+
+    #[test]
+    fn r1_annotates_reachability_and_justification() {
+        let r = flow_of(&[(
+            "core",
+            "crates/core/src/a.rs",
+            "// chainiq-analyze: hot\n\
+             pub fn tick(o: Option<u8>) { step(o); }\n\
+             fn step(o: Option<u8>) { o.unwrap(); }\n\
+             fn cold(o: Option<u8>) {\n\
+             // chainiq-analyze: allow(R1, input validated at parse time)\n\
+             o.expect(\"validated\");\n\
+             }\n",
+        )]);
+        assert_eq!(r.panic_report.len(), 2, "{:?}", r.panic_report);
+        let hot = &r.panic_report[0];
+        assert!(hot.hot_reachable && !hot.justified);
+        assert!(hot.witness.as_deref().is_some_and(|w| w.contains("(tick)")), "{hot:?}");
+        let cold = &r.panic_report[1];
+        assert!(!cold.hot_reachable && cold.justified, "{cold:?}");
+        assert!(cold.witness.is_none());
+    }
+
+    #[test]
+    fn method_dispatch_through_two_candidate_impls_is_conservative() {
+        // The hot loop calls `q.step()`; only one impl allocates, but
+        // name-based resolution must consider both, so the allocating
+        // one is flagged.
+        let r = flow_of(&[(
+            "core",
+            "crates/core/src/a.rs",
+            "// chainiq-analyze: hot\n\
+             pub fn drive(q: &mut dyn Queue) { q.step(); }\n\
+             impl Clean { fn step(&mut self) {} }\n\
+             impl Dirty { fn step(&mut self) { let _v = Vec::new(); } }\n",
+        )]);
+        let diags = &r.h2["crates/core/src/a.rs"];
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn stats_counts_graph_shape() {
+        let r = flow_of(&[(
+            "core",
+            "crates/core/src/a.rs",
+            "// chainiq-analyze: hot\n\
+             pub fn tick() { helper(); }\n\
+             fn helper() {}\n",
+        )]);
+        assert_eq!(r.stats.functions, 2);
+        assert_eq!(r.stats.edges, 1);
+        assert_eq!(r.stats.hot_roots, 1);
+    }
+}

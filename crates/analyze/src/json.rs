@@ -1,0 +1,350 @@
+//! Minimal JSON support: a hand-rolled parser (enough for the perf-gate
+//! artifacts, which this workspace itself emits) and the `--json` report
+//! writer. Zero-dependency by design, like everything else in the tool;
+//! objects parse into `BTreeMap` so iteration order is deterministic.
+
+use crate::Report;
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (kept as `f64`; the perf artifacts stay well inside
+    /// exact range).
+    Num(f64),
+    /// A string, escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, key-sorted.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub(crate) fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub(crate) fn parse(src: &str) -> Result<Value, String> {
+    let bytes = src.as_bytes();
+    let mut p = Parser { b: bytes, i: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != bytes.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        while matches!(self.b.get(self.i), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        text.parse::<f64>().map(Value::Num).map_err(|_| format!("bad number `{text}`"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.b.get(self.i).ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            self.i += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape `\\{}`", *other as char)),
+                    }
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let start = self.i;
+                    self.i += 1;
+                    while self.b.get(self.i).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.i += 1;
+                    }
+                    match std::str::from_utf8(&self.b[start..self.i]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err("non-utf8 string content".to_string()),
+                    }
+                    let _ = c;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Value::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(out));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut out = BTreeMap::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.insert(key, val);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(out));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+/// JSON-escapes a string (quotes not included).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a [`Report`] as the machine-readable CI artifact. Schema (see
+/// DESIGN.md §8): `schema_version`, `clean`, `files_scanned`, `diags[]`
+/// (`file`/`line`/`rule`/`message`), `notes[]`, `slack[]`, `callgraph`
+/// (`functions`/`edges`/`hot_roots`), `panic_report[]` (`file`/`line`/
+/// `what`/`function`/`hot_reachable`/`justified`/`witness`). Key order
+/// and array order are deterministic.
+#[must_use]
+pub fn render_report(r: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"clean\": {},\n", r.diags.is_empty()));
+    out.push_str(&format!("  \"files_scanned\": {},\n", r.files_scanned));
+    out.push_str("  \"diags\": [");
+    for (i, d) in r.diags.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        out.push_str(&format!(
+            "{sep}    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape(&d.file),
+            d.line,
+            d.rule,
+            escape(&d.message)
+        ));
+    }
+    out.push_str(if r.diags.is_empty() { "],\n" } else { "\n  ],\n" });
+    let string_list = |items: &[String]| {
+        items.iter().map(|n| format!("\"{}\"", escape(n))).collect::<Vec<_>>().join(", ")
+    };
+    out.push_str(&format!("  \"notes\": [{}],\n", string_list(&r.notes)));
+    out.push_str(&format!("  \"slack\": [{}],\n", string_list(&r.slack)));
+    out.push_str(&format!(
+        "  \"callgraph\": {{\"functions\": {}, \"edges\": {}, \"hot_roots\": {}}},\n",
+        r.callgraph.functions, r.callgraph.edges, r.callgraph.hot_roots
+    ));
+    out.push_str("  \"panic_report\": [");
+    for (i, p) in r.panic_report.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let witness = match &p.witness {
+            Some(w) => format!("\"{}\"", escape(w)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "{sep}    {{\"file\": \"{}\", \"line\": {}, \"what\": \"{}\", \"function\": \"{}\", \
+             \"hot_reachable\": {}, \"justified\": {}, \"witness\": {witness}}}",
+            escape(&p.file),
+            p.line,
+            escape(&p.what),
+            escape(&p.function),
+            p.hot_reachable,
+            p.justified
+        ));
+    }
+    out.push_str(if r.panic_report.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shapes_the_perf_artifacts_use() {
+        let v = parse(
+            "{\"suite\": \"perf\", \"points\": [{\"point\": \"seg-4x32\", \"kc\": 12.5}], \
+             \"ok\": true, \"none\": null, \"neg\": -3e2}",
+        )
+        .unwrap();
+        assert_eq!(v.get("suite").and_then(Value::as_str), Some("perf"));
+        let points = v.get("points").and_then(Value::as_arr).unwrap();
+        assert_eq!(points[0].get("point").and_then(Value::as_str), Some("seg-4x32"));
+        assert_eq!(points[0].get("kc").and_then(Value::as_f64), Some(12.5));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("neg").and_then(Value::as_f64), Some(-300.0));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = parse("\"a\\n\\\"b\\\\c\\u0041\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\n\"b\\cA"));
+        assert_eq!(escape("a\n\"b\\c"), "a\\n\\\"b\\\\c");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_truncation() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("{\"a\": ").is_err());
+        assert!(parse("[1, ]").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn report_renders_and_reparses() {
+        let r =
+            Report { files_scanned: 3, notes: vec!["a \"note\"".to_string()], ..Report::default() };
+        let text = render_report(&r);
+        let v = parse(&text).expect("self-emitted JSON must reparse");
+        assert_eq!(v.get("clean"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("files_scanned").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(
+            v.get("notes").and_then(Value::as_arr).and_then(|a| a[0].as_str()),
+            Some("a \"note\"")
+        );
+    }
+}

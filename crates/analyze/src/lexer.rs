@@ -11,7 +11,8 @@
 //! * line comments (including `///` and `//!` doc comments),
 //! * block comments with nesting (`/* /* */ */`),
 //! * cooked strings with escapes (`"say \"hi\""`),
-//! * raw strings with hash fences (`r#"…"#`), byte and byte-raw strings,
+//! * raw strings with hash fences (`r#"…"#`), byte, byte-raw, C-string
+//!   (`c"…"`) and raw C-string (`cr#"…"#`) literals,
 //! * char literals vs. lifetimes (`'a'` vs. `'a`),
 //! * numeric literals (so `0.iter` inside `1.0e-5` cannot confuse a
 //!   rule).
@@ -136,7 +137,7 @@ pub fn lex(src: &str) -> Vec<Token<'_>> {
                     out.push(Token { kind: TokKind::Char, text: &src[start..i], line: start_line });
                 }
             }
-            b'r' | b'b' if raw_or_byte_prefix(b, i).is_some() => {
+            b'r' | b'b' | b'c' if raw_or_byte_prefix(b, i).is_some() => {
                 let (kind, literal_start) =
                     raw_or_byte_prefix(b, i).expect("checked by the match guard");
                 let end = match kind {
@@ -189,27 +190,29 @@ pub fn lex(src: &str) -> Vec<Token<'_>> {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PrefixKind {
-    /// `r"…"`, `r#"…"#`, `br"…"`, `br#"…"#` — starts at the first `#` or
-    /// the quote.
+    /// `r"…"`, `r#"…"#`, `br"…"`, `br#"…"#`, `cr"…"`, `cr#"…"#` — starts
+    /// at the first `#` or the quote.
     Raw,
-    /// `b"…"` — a cooked byte string, starts at the quote.
+    /// `b"…"` / `c"…"` — a cooked byte or C string, starts at the quote.
     CookedStr,
     /// `b'…'` — a byte literal, starts at the quote.
     CharLit,
 }
 
-/// If position `i` begins a raw/byte string or byte literal, returns its
-/// kind and the index of the fence (`#` or quote). Returns `None` for a
-/// plain identifier that merely starts with `r` or `b`.
+/// If position `i` begins a raw/byte/C string or byte literal, returns
+/// its kind and the index of the fence (`#` or quote). Returns `None`
+/// for a plain identifier that merely starts with `r`, `b` or `c` (so
+/// `crate`, whose first two bytes look like a raw-C-string prefix, stays
+/// an identifier).
 fn raw_or_byte_prefix(b: &[u8], i: usize) -> Option<(PrefixKind, usize)> {
     match b[i] {
         b'r' => match b.get(i + 1) {
             Some(&b'"') | Some(&b'#') if raw_fence_ok(b, i + 1) => Some((PrefixKind::Raw, i + 1)),
             _ => None,
         },
-        b'b' => match b.get(i + 1) {
+        b'b' | b'c' => match b.get(i + 1) {
             Some(&b'"') => Some((PrefixKind::CookedStr, i + 1)),
-            Some(&b'\'') => Some((PrefixKind::CharLit, i + 1)),
+            Some(&b'\'') if b[i] == b'b' => Some((PrefixKind::CharLit, i + 1)),
             Some(&b'r') => match b.get(i + 2) {
                 Some(&b'"') | Some(&b'#') if raw_fence_ok(b, i + 2) => {
                     Some((PrefixKind::Raw, i + 2))
@@ -237,7 +240,15 @@ fn cooked_string_end(b: &[u8], mut i: usize, line: &mut u32) -> usize {
     i += 1;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            // Clamp: a backslash as the very last byte must not step past
+            // the end (the returned index is used to slice the source).
+            // An escaped newline (line continuation) still ends a line.
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
             b'"' => return i + 1,
             b'\n' => {
                 *line += 1;
@@ -255,7 +266,12 @@ fn char_literal_end(b: &[u8], mut i: usize, line: &mut u32) -> usize {
     i += 1;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
             b'\'' => return i + 1,
             b'\n' => {
                 *line += 1;
@@ -349,6 +365,30 @@ mod tests {
     }
 
     #[test]
+    fn c_strings_are_strings_not_code() {
+        // A HashMap inside a c-string must classify as Str, not scan as
+        // code (it would false-positive D1 otherwise).
+        let toks = kinds(r##"let a = c"HashMap bytes\0"; let b = cr#"raw "c" HashMap"#;"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2, "{toks:?}");
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && *t == "HashMap"));
+    }
+
+    #[test]
+    fn cr_prefix_without_fence_is_an_identifier() {
+        let toks = kinds("crate::foo(cr8, c)");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && *t == "crate"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && *t == "cr8"));
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::Str));
+    }
+
+    #[test]
+    fn c_followed_by_char_literal_is_not_a_byte_literal() {
+        let toks = kinds("let c = 'x'; f(c, 'y')");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && *t == "c"));
+    }
+
+    #[test]
     fn raw_identifiers_are_idents_not_strings() {
         let toks = kinds("let r#type = 1; br#ident");
         assert!(toks.iter().all(|(k, _)| *k != TokKind::Str));
@@ -404,6 +444,26 @@ mod tests {
     fn unterminated_string_does_not_panic() {
         let toks = lex("let s = \"never closed");
         assert_eq!(toks.last().map(|t| t.kind), Some(TokKind::Str));
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_the_line() {
+        // Also found by the fuzz suite: `\` + newline (a line
+        // continuation) was consumed by the escape fast-path without
+        // bumping the line counter.
+        let toks = lex("let s = \"a\\\nb\";\nfn f() {}");
+        let f = toks.iter().find(|t| t.text == "fn").expect("fn token present");
+        assert_eq!(f.line, 3);
+    }
+
+    #[test]
+    fn trailing_backslash_in_unterminated_literals_does_not_panic() {
+        // Found by the seeded fuzz suite: the escape fast-path used to
+        // step two bytes past a backslash even at end of input, and the
+        // resulting index sliced out of bounds.
+        assert_eq!(lex("\"abc\\").last().map(|t| t.kind), Some(TokKind::Str));
+        assert_eq!(lex("'\\").last().map(|t| t.kind), Some(TokKind::Char));
+        assert_eq!(lex("b'\\").last().map(|t| t.kind), Some(TokKind::Char));
     }
 
     #[test]

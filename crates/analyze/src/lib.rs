@@ -9,6 +9,13 @@
 //! committed-baseline ratchet ([`baseline`]). The whole tool is
 //! zero-dependency, like the rest of the workspace.
 //!
+//! On top of the per-file scan sits a whole-workspace pass: a
+//! hand-rolled item parser ([`parser`]) recovers `fn` items and call
+//! expressions, [`callgraph`] links them into a conservative name-based
+//! call graph, and [`flows`] runs the flow rules over it — H2
+//! (transitive hot-path purity), T1 (determinism taint with witness
+//! paths), and the R1 panic-reachability report.
+//!
 //! Entry point: [`analyze_workspace`] walks `crates/*/src/**/*.rs` plus
 //! every `Cargo.toml` and returns a [`Report`]; the `chainiq-analyze`
 //! binary turns that into `file:line: rule: message` diagnostics and an
@@ -18,11 +25,19 @@
 #![deny(missing_docs)]
 
 pub mod baseline;
+mod callgraph;
+mod flows;
+pub mod json;
 pub mod lexer;
 pub mod manifest;
+mod parser;
+pub mod perfcheck;
 pub mod rules;
 
+pub use flows::{GraphStats, PanicEntry};
+
 use rules::{Diagnostic, PanicCounts};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -30,13 +45,24 @@ use std::path::{Path, PathBuf};
 /// Everything one analysis run found.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// Failing findings across all rules, in deterministic (path-sorted
-    /// scan) order. Non-empty → the run fails.
+    /// Failing findings across all rules, sorted by (file, line, rule).
+    /// Non-empty → the run fails.
     pub diags: Vec<Diagnostic>,
-    /// Non-failing notes (e.g. "under budget, re-ratchet").
+    /// Non-failing notes (e.g. the R1 reachability summary).
     pub notes: Vec<String>,
+    /// Ratchet slack: files under budget. Informational by default;
+    /// `--check-tight` turns these into failures so cleanups are pinned.
+    pub slack: Vec<String>,
     /// Fresh per-file panic-site counts (what `--write-baseline` pins).
     pub fresh_counts: PanicCounts,
+    /// Fresh per-file H2 hot-path allocation-site counts.
+    pub hot_alloc_counts: PanicCounts,
+    /// Fresh per-file T1 tainted-sink counts.
+    pub taint_counts: PanicCounts,
+    /// Shape of the workspace call graph.
+    pub callgraph: GraphStats,
+    /// The R1 panic-reachability report, path-sorted.
+    pub panic_report: Vec<PanicEntry>,
     /// Number of `.rs` files scanned, for the summary line.
     pub files_scanned: usize,
 }
@@ -49,6 +75,11 @@ pub struct Report {
 /// baseline is also an error (it is machine-written).
 pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
     let mut report = Report::default();
+    let mut file_items = Vec::new();
+    // Crate dependency facts for call-graph visibility: package name →
+    // crate directory, and per-directory runtime dep package names.
+    let mut pkg_to_dir: BTreeMap<String, String> = BTreeMap::new();
+    let mut direct_pkg_deps: BTreeMap<String, Vec<String>> = BTreeMap::new();
 
     // Manifests: the workspace root first, then each crate, path-sorted.
     let root_manifest = root.join("Cargo.toml");
@@ -63,11 +94,16 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
         let crate_name = file_name_string(&crate_dir);
         let manifest_path = crate_dir.join("Cargo.toml");
         if manifest_path.is_file() {
+            let manifest_src = fs::read_to_string(&manifest_path)?;
             manifest::check_manifest(
                 &format!("crates/{crate_name}/Cargo.toml"),
-                &fs::read_to_string(&manifest_path)?,
+                &manifest_src,
                 &mut report.diags,
             );
+            if let Some(pkg) = manifest::package_name(&manifest_src) {
+                pkg_to_dir.insert(pkg, crate_name.clone());
+            }
+            direct_pkg_deps.insert(crate_name.clone(), manifest::runtime_dep_names(&manifest_src));
         }
 
         // Sources: everything under src/, recursively, path-sorted.
@@ -84,17 +120,46 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
             );
             // Binary targets may unwrap at the top level; libraries may not.
             let is_bin = rel.contains("/src/bin/") || rel.ends_with("/src/main.rs");
-            let scanned =
-                rules::scan_source(&crate_name, &rel, &fs::read_to_string(&file)?, !is_bin);
+            let src = fs::read_to_string(&file)?;
+            let scanned = rules::scan_source(&crate_name, &rel, &src, !is_bin);
             report.diags.extend(scanned.diags);
             if scanned.panic_sites > 0 {
-                report.fresh_counts.insert(rel, scanned.panic_sites);
+                report.fresh_counts.insert(rel.clone(), scanned.panic_sites);
             }
+            file_items.push(parser::parse_file(&crate_name, &rel, &src, is_bin));
             report.files_scanned += 1;
         }
     }
 
-    // Ratchet: compare fresh counts against the committed baseline.
+    // Whole-workspace pass: call graph + flow rules.
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (dir, dep_pkgs) in &direct_pkg_deps {
+        direct.insert(
+            dir.clone(),
+            dep_pkgs.iter().filter_map(|p| pkg_to_dir.get(p)).cloned().collect(),
+        );
+    }
+    let deps = callgraph::close_deps(&direct);
+    let graph = callgraph::build(file_items, &deps);
+    let flow = flows::analyze(&graph);
+    report.callgraph = flow.stats;
+    for (f, ds) in &flow.h2 {
+        report.hot_alloc_counts.insert(f.clone(), u32::try_from(ds.len()).unwrap_or(u32::MAX));
+    }
+    for (f, ds) in &flow.t1 {
+        report.taint_counts.insert(f.clone(), u32::try_from(ds.len()).unwrap_or(u32::MAX));
+    }
+    if !flow.panic_report.is_empty() {
+        let hot = flow.panic_report.iter().filter(|p| p.hot_reachable).count();
+        report.notes.push(format!(
+            "R1: {hot} of {} panic site(s) reachable from hot entry points (witness paths in \
+             --json panic_report)",
+            flow.panic_report.len()
+        ));
+    }
+    report.panic_report = flow.panic_report;
+
+    // Ratchets: compare fresh counts against the committed budgets.
     let baseline_path = root.join(baseline::BASELINE_FILE);
     let committed = if baseline_path.is_file() {
         baseline::parse(&fs::read_to_string(&baseline_path)?).map_err(|e| {
@@ -104,26 +169,47 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
             )
         })?
     } else {
-        PanicCounts::new()
+        baseline::Baseline::default()
     };
-    let ratchet = baseline::compare(&committed, &report.fresh_counts, |f| root.join(f).is_file());
-    report.diags.extend(ratchet.diags);
-    report.notes.extend(ratchet.notes);
+    let exists = |f: &str| root.join(f).is_file();
+    for ratchet in [
+        baseline::compare(&committed.panic, &report.fresh_counts, exists),
+        baseline::compare_sites(
+            "hot-path allocation site(s)",
+            &committed.hot_alloc,
+            &flow.h2,
+            exists,
+        ),
+        baseline::compare_sites("tainted sink(s)", &committed.taint, &flow.t1, exists),
+    ] {
+        report.diags.extend(ratchet.diags);
+        report.slack.extend(ratchet.slack);
+    }
+
+    // One deterministic order for everything, wherever it was found.
+    report
+        .diags
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
 
     Ok(report)
 }
 
-/// Regenerates `analyze-baseline.toml` from fresh counts. Returns the
-/// path written. Rule diagnostics other than P1 still fail the run at
-/// the CLI level, so `--write-baseline` cannot be used to bless e.g. a
-/// new `HashMap`.
+/// Regenerates `analyze-baseline.toml` from fresh counts (all three
+/// budget sections). Returns the path written. Rule diagnostics other
+/// than the ratcheted families still fail the run at the CLI level, so
+/// `--write-baseline` cannot be used to bless e.g. a new `HashMap`.
 ///
 /// # Errors
 /// Propagates I/O failures from the scan or the write.
 pub fn write_baseline(root: &Path) -> io::Result<PathBuf> {
     let report = analyze_workspace(root)?;
     let path = root.join(baseline::BASELINE_FILE);
-    fs::write(&path, baseline::render(&report.fresh_counts))?;
+    let fresh = baseline::Baseline {
+        panic: report.fresh_counts,
+        hot_alloc: report.hot_alloc_counts,
+        taint: report.taint_counts,
+    };
+    fs::write(&path, baseline::render(&fresh))?;
     Ok(path)
 }
 

@@ -89,6 +89,72 @@ pub fn check_manifest(file: &str, src: &str, diags: &mut Vec<Diagnostic>) {
     flush(&mut section, diags);
 }
 
+/// The `[package] name = "…"` of a manifest, if any.
+#[must_use]
+pub fn package_name(src: &str) -> Option<String> {
+    let mut in_package = false;
+    for raw in src.lines() {
+        let line = strip_toml_comment(raw).trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some((key, val)) = line.split_once('=') {
+                if key.trim() == "name" {
+                    return Some(val.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Package names this manifest depends on at *runtime*: entries of
+/// `[dependencies]` and `[target.….dependencies]` (and their dotted
+/// subsections). Dev- and build-dependencies are excluded on purpose —
+/// the call graph only covers `src/` with `#[cfg(test)]` masked out, so
+/// a dev-dep edge would manufacture flows that cannot execute in the
+/// shipped simulator.
+#[must_use]
+pub fn runtime_dep_names(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    let runtime_table = |header: &str| {
+        header == "dependencies"
+            || (header.ends_with(".dependencies") && header.starts_with("target."))
+    };
+    for raw in src.lines() {
+        let line = strip_toml_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            let header = line.trim_start_matches('[').trim_end_matches(']').trim();
+            in_deps = runtime_table(header);
+            if !in_deps {
+                // `[dependencies.foo]` subsection names a dep directly.
+                if let Some((table, name)) = header.rsplit_once('.') {
+                    if runtime_table(table) {
+                        out.push(name.trim().trim_matches('"').to_string());
+                    }
+                }
+            }
+            continue;
+        }
+        if in_deps {
+            if let Some((name, _)) = line.split_once('=') {
+                let name = name.trim().trim_matches('"');
+                // Dotted-key shorthand `foo.workspace = true` → `foo`.
+                out.push(name.split('.').next().unwrap_or(name).to_string());
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
 fn classify_header(header: &str, line: u32) -> Section {
     // `dependencies`, `dev-dependencies`, `workspace.dependencies`,
     // `target.'cfg(unix)'.dependencies`, ... — and their `.name` subsections.
@@ -203,6 +269,22 @@ mod tests {
         assert_eq!(bad.len(), 1);
         let ok = check("[workspace.dependencies]\nchainiq-core = { path = \"crates/core\" }\n");
         assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn package_name_and_runtime_deps_extract() {
+        let src = "[package]\nname = \"chainiq-cpu\"\nversion = \"0.1.0\"\n\n\
+                   [dependencies]\nchainiq-core.workspace = true\n\
+                   chainiq-isa = { path = \"../isa\" }\n\n\
+                   [dependencies.chainiq-mem]\nworkspace = true\n\n\
+                   [dev-dependencies]\nchainiq-devtest.workspace = true\n\n\
+                   [target.'cfg(unix)'.dependencies]\nchainiq-rng = { path = \"../rng\" }\n";
+        assert_eq!(package_name(src).as_deref(), Some("chainiq-cpu"));
+        assert_eq!(
+            runtime_dep_names(src),
+            vec!["chainiq-core", "chainiq-isa", "chainiq-mem", "chainiq-rng"],
+            "dev-dependencies must be excluded"
+        );
     }
 
     #[test]

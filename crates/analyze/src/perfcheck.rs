@@ -1,0 +1,146 @@
+//! `--check-perf`: the perf-gate JSON consistency check, in Rust.
+//!
+//! ci.sh used to shell out to a python3 heredoc to validate the perf
+//! artifacts; this module is the hermetic replacement — the last
+//! non-Rust toolchain dependency in CI. It asserts exactly what the
+//! heredoc did:
+//!
+//! 1. the emitted `BENCH_perf.json` is `suite == "perf"`, has a
+//!    non-empty `points` array, and a positive
+//!    `aggregate.sim_kcycles_per_sec`;
+//! 2. the last line of `BENCH_perf_history.jsonl` covers the same point
+//!    set and carries a non-empty `rev` label;
+//! 3. the emitted point set matches the *committed*
+//!    `results/BENCH_perf.json` — a silently dropped or renamed matrix
+//!    point is a gate regression.
+
+use crate::json::{parse, Value};
+use std::collections::BTreeSet;
+
+/// Runs the consistency check over the three artifact texts (emitted
+/// JSON, history JSONL, committed JSON). Returns a one-line summary.
+///
+/// # Errors
+/// A human-readable description of the first inconsistency found.
+pub fn check_perf(emitted: &str, history: &str, committed: &str) -> Result<String, String> {
+    let doc = parse(emitted).map_err(|e| format!("emitted perf JSON does not parse: {e}"))?;
+
+    let suite = doc.get("suite").and_then(Value::as_str).unwrap_or_default();
+    if suite != "perf" {
+        return Err(format!("emitted suite is `{suite}`, expected `perf`"));
+    }
+    let points = point_set(&doc, "emitted")?;
+    let agg = doc
+        .get("aggregate")
+        .and_then(|a| a.get("sim_kcycles_per_sec"))
+        .and_then(Value::as_f64)
+        .ok_or("emitted JSON lacks aggregate.sim_kcycles_per_sec")?;
+    if !agg.is_finite() || agg <= 0.0 {
+        return Err(format!("aggregate sim_kcycles_per_sec is {agg}, expected > 0"));
+    }
+
+    // Every history line is itself one JSON object covering the same
+    // matrix; only the freshest line must match the emitted run.
+    let last_line =
+        history.lines().rfind(|l| !l.trim().is_empty()).ok_or("history file has no records")?;
+    let last = parse(last_line).map_err(|e| format!("last history line does not parse: {e}"))?;
+    let hist_points = point_set(&last, "history")?;
+    if hist_points != points {
+        return Err(format!(
+            "history point set drifted: only-emitted={:?} only-history={:?}",
+            diff(&points, &hist_points),
+            diff(&hist_points, &points)
+        ));
+    }
+    if last.get("rev").and_then(Value::as_str).unwrap_or_default().is_empty() {
+        return Err("history line lacks a revision label".to_string());
+    }
+
+    // The smoke run must cover exactly the matrix the committed artifact
+    // records.
+    let committed_doc =
+        parse(committed).map_err(|e| format!("committed perf JSON does not parse: {e}"))?;
+    let committed_points = point_set(&committed_doc, "committed")?;
+    if committed_points != points {
+        return Err(format!(
+            "matrix drifted from the committed artifact: only-emitted={:?} only-committed={:?}",
+            diff(&points, &committed_points),
+            diff(&committed_points, &points)
+        ));
+    }
+
+    Ok(format!(
+        "perf artifacts consistent: {} point(s), aggregate {agg} sim_kcycles_per_sec",
+        points.len()
+    ))
+}
+
+/// The set of `points[].point` names of one artifact document.
+fn point_set(doc: &Value, which: &str) -> Result<BTreeSet<String>, String> {
+    let arr = doc
+        .get("points")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{which} JSON lacks a points array"))?;
+    if arr.is_empty() {
+        return Err(format!("{which} JSON has no points"));
+    }
+    arr.iter()
+        .map(|p| {
+            p.get("point")
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{which} JSON has a point without a `point` name"))
+        })
+        .collect()
+}
+
+fn diff(a: &BTreeSet<String>, b: &BTreeSet<String>) -> Vec<String> {
+    a.difference(b).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EMITTED: &str = "{\"suite\": \"perf\", \
+        \"points\": [{\"point\": \"a\"}, {\"point\": \"b\"}], \
+        \"aggregate\": {\"sim_kcycles_per_sec\": 123.4}}";
+    const HISTORY: &str = "{\"rev\": \"old\", \"points\": [{\"point\": \"a\"}]}\n\
+        {\"rev\": \"abc123\", \"points\": [{\"point\": \"b\"}, {\"point\": \"a\"}]}\n";
+    const COMMITTED: &str = "{\"points\": [{\"point\": \"a\"}, {\"point\": \"b\"}]}";
+
+    #[test]
+    fn consistent_artifacts_pass() {
+        let summary = check_perf(EMITTED, HISTORY, COMMITTED).unwrap();
+        assert!(summary.contains("2 point(s)"), "{summary}");
+    }
+
+    #[test]
+    fn wrong_suite_empty_points_and_zero_aggregate_fail() {
+        let bad = EMITTED.replace("perf", "fig3");
+        assert!(check_perf(&bad, HISTORY, COMMITTED).unwrap_err().contains("suite"));
+        let empty = "{\"suite\": \"perf\", \"points\": [], \
+            \"aggregate\": {\"sim_kcycles_per_sec\": 1}}";
+        assert!(check_perf(empty, HISTORY, COMMITTED).unwrap_err().contains("no points"));
+        let zero = EMITTED.replace("123.4", "0");
+        assert!(check_perf(&zero, HISTORY, COMMITTED).unwrap_err().contains("expected > 0"));
+    }
+
+    #[test]
+    fn history_drift_and_missing_rev_fail() {
+        let drifted = "{\"rev\": \"abc\", \"points\": [{\"point\": \"a\"}]}\n";
+        let err = check_perf(EMITTED, drifted, COMMITTED).unwrap_err();
+        assert!(err.contains("history point set drifted"), "{err}");
+        let no_rev = "{\"rev\": \"\", \"points\": [{\"point\": \"a\"}, {\"point\": \"b\"}]}\n";
+        assert!(check_perf(EMITTED, no_rev, COMMITTED).unwrap_err().contains("revision"));
+        assert!(check_perf(EMITTED, "\n\n", COMMITTED).unwrap_err().contains("no records"));
+    }
+
+    #[test]
+    fn committed_matrix_drift_fails_with_both_sides() {
+        let committed = "{\"points\": [{\"point\": \"a\"}, {\"point\": \"c\"}]}";
+        let err = check_perf(EMITTED, HISTORY, committed).unwrap_err();
+        assert!(err.contains("only-emitted=[\"b\"]"), "{err}");
+        assert!(err.contains("only-committed=[\"c\"]"), "{err}");
+    }
+}

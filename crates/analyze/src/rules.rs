@@ -25,8 +25,10 @@
 //! * **P2** — no allocation in hot-marked kernel functions. A function
 //!   annotated with the `hot` marker comment (same line as `fn` or the
 //!   line directly above) is a per-cycle simulation path; `.clone()`,
-//!   `Vec::new` and `.collect()` inside its body are flagged — reuse a
-//!   scratch buffer or an index instead.
+//!   `.collect()`, `.to_vec()`, `.to_string()`, `Vec::new`, `Box::new`
+//!   and `format!` inside its body are flagged — reuse a scratch buffer
+//!   or an index instead. (**H2**, in [`crate::flows`], extends the same
+//!   check to every function a hot function transitively calls.)
 //! * **P3** — no `BTreeMap`/`BTreeSet` in a file carrying the bare
 //!   `hot-path` marker comment. Those files hold the
 //!   per-cycle kernel data structures, which were deliberately rebuilt
@@ -45,6 +47,11 @@
 //! * **A0** — a suppression comment without a reason is itself a
 //!   violation.
 //!
+//! The flow rules — **H2** (transitive hot-path purity), **T1**
+//! (determinism taint), and the **R1** panic-reachability report — run
+//! over the workspace call graph in [`crate::flows`]; this module only
+//! defines their [`RuleId`]s, `--explain` text, and suppressions.
+//!
 //! Test code — `#[cfg(test)]` items and `#[test]` functions — is exempt
 //! from every rule: tests may use wall clocks, unwraps and hash maps
 //! freely.
@@ -62,9 +69,13 @@ use crate::lexer::{lex, TokKind, Token};
 use std::collections::BTreeMap;
 
 /// Crate directory names (under `crates/`) whose code is part of the
-/// simulation proper and therefore subject to D1.
+/// simulation proper and therefore subject to D1, and whose public
+/// functions are T1 determinism sinks. `analyze` itself is on the list:
+/// the call-graph analysis must be deterministic too (path-sorted
+/// diagnostics, BTree-only internals), so it passes its own D1.
 pub const SIM_CRATES: &[&str] = &[
-    "baseline", "chainiq", "circuit", "core", "cpu", "isa", "mem", "power", "predict", "workload",
+    "analyze", "baseline", "chainiq", "circuit", "core", "cpu", "isa", "mem", "power", "predict",
+    "workload",
 ];
 
 /// Crates allowed to read wall clocks (D2): the bench harness times
@@ -100,6 +111,13 @@ pub enum RuleId {
     A0,
     /// Stale baseline entry (file no longer exists).
     B1,
+    /// Allocation transitively reachable from a hot-marked function.
+    H2,
+    /// Determinism-taint source reaching a Snapshot/Stats/sim-public sink.
+    T1,
+    /// Panic-reachability report entry (never fails on its own; the id
+    /// exists for `--explain` and for `allow(R1, …)` justifications).
+    R1,
 }
 
 impl std::fmt::Display for RuleId {
@@ -116,6 +134,9 @@ impl std::fmt::Display for RuleId {
             RuleId::U1 => "U1",
             RuleId::A0 => "A0",
             RuleId::B1 => "B1",
+            RuleId::H2 => "H2",
+            RuleId::T1 => "T1",
+            RuleId::R1 => "R1",
         })
     }
 }
@@ -134,7 +155,153 @@ impl RuleId {
             "U1" => Some(RuleId::U1),
             "A0" => Some(RuleId::A0),
             "B1" => Some(RuleId::B1),
+            "H2" => Some(RuleId::H2),
+            "T1" => Some(RuleId::T1),
+            "R1" => Some(RuleId::R1),
             _ => None,
+        }
+    }
+
+    /// Parses a rule id from its diagnostic spelling (`"D1"`, `"H2"`, …).
+    /// Public counterpart of the suppression-comment parser, used by the
+    /// CLI's `--explain`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::from_str_id(s)
+    }
+
+    /// Every rule, in catalogue order (for `--explain` with no argument).
+    pub const ALL: &'static [RuleId] = &[
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::H1,
+        RuleId::H2,
+        RuleId::P1,
+        RuleId::P2,
+        RuleId::P3,
+        RuleId::R1,
+        RuleId::S1,
+        RuleId::T1,
+        RuleId::U1,
+        RuleId::A0,
+        RuleId::B1,
+    ];
+
+    /// One-paragraph rationale plus the suppression recipe, printed by
+    /// `chainiq-analyze --explain <RULE>`.
+    #[must_use]
+    pub fn explain(self) -> &'static str {
+        match self {
+            RuleId::D1 => {
+                "D1 — no HashMap/HashSet in simulation crates.\n\
+                 Hash iteration order varies run to run; one `for … in &map` inside the timing\n\
+                 model silently breaks the bit-for-bit reproducibility every experiment rests\n\
+                 on. BTreeMap/BTreeSet are the deterministic drop-ins.\n\
+                 Suppress: `// chainiq-analyze: allow(D1, reason)` on or above the line, e.g.\n\
+                 for a lookup-only map that is provably never iterated."
+            }
+            RuleId::D2 => {
+                "D2 — no std::time (Instant, SystemTime) outside crates/bench and\n\
+                 crates/devtest. Wall-clock reads in the model are hidden inputs: they make\n\
+                 two runs of the same seed observably different.\n\
+                 Suppress: `// chainiq-analyze: allow(D2, reason)` when the read provably\n\
+                 never feeds simulation state or stats."
+            }
+            RuleId::D3 => {
+                "D3 — no std::env::var* outside crates/bench/src/knob.rs. Every CHAINIQ_*\n\
+                 knob goes through the central helper so typos warn instead of silently\n\
+                 changing the experiment.\n\
+                 Suppress: `// chainiq-analyze: allow(D3, reason)` for reads that are a\n\
+                 module's own debugging interface, not experiment inputs."
+            }
+            RuleId::H1 => {
+                "H1 — every manifest dependency must resolve inside the workspace\n\
+                 (`path = …` or `workspace = true`). Registry/git deps break the hermetic\n\
+                 --offline build. There is no inline suppression: the fix is always to\n\
+                 vendor the code in-repo or drop the dependency."
+            }
+            RuleId::H2 => {
+                "H2 — transitive hot-path purity. From every `// chainiq-analyze: hot`\n\
+                 function, no reachable callee (any depth, workspace-wide, conservative\n\
+                 name-based call resolution) may allocate: .clone(), .collect(), .to_vec(),\n\
+                 .to_string(), Vec::new, Box::new, format!. This generalizes P2 from\n\
+                 body-local to reachability: a hot function calling an innocent-looking\n\
+                 helper that allocates is exactly the regression the perf gate cannot see.\n\
+                 Diagnostics carry the witness call path from the hot root to the site.\n\
+                 Suppress: `// chainiq-analyze: allow(H2, reason)` at the allocation site\n\
+                 (e.g. a cold error path, or a one-time growth amortized to zero); residual\n\
+                 debt is ratcheted per file under [hot-alloc-budget] in analyze-baseline.toml."
+            }
+            RuleId::P1 => {
+                "P1 — ratcheted panic budget. Non-test .unwrap()/.expect()/panic!/\n\
+                 unreachable!/todo!/unimplemented! counts per file are pinned in\n\
+                 analyze-baseline.toml; existing debt passes, any increase fails, a decrease\n\
+                 prints a note (and fails --check-tight) until --write-baseline re-pins it.\n\
+                 Suppress: `// chainiq-analyze: allow(P1, reason)` on a provably-unreachable\n\
+                 site; binary targets (src/bin, src/main.rs) are exempt."
+            }
+            RuleId::P2 => {
+                "P2 — no allocation in the body of a hot-marked kernel function\n\
+                 (.clone(), .collect(), .to_vec(), .to_string(), Vec::new, Box::new,\n\
+                 format!). Mark per-cycle functions with `// chainiq-analyze: hot` on the\n\
+                 `fn` line or the line above. H2 extends this check to everything the\n\
+                 function transitively calls.\n\
+                 Suppress: `// chainiq-analyze: allow(P2, reason)` at the site."
+            }
+            RuleId::P3 => {
+                "P3 — no BTreeMap/BTreeSet in a file carrying the\n\
+                 `// chainiq-analyze: hot-path` marker. The kernel files were deliberately\n\
+                 rebuilt on slab-intrusive lists, bitsets and event wheels; a tree map\n\
+                 reintroduces pointer-chasing node allocation. Test code is exempt\n\
+                 (reference models in differential tests are the intended place for maps).\n\
+                 Suppress: `// chainiq-analyze: allow(P3, reason)` for cold-path tables."
+            }
+            RuleId::R1 => {
+                "R1 — panic-reachability report (informational, never fails a run). Every\n\
+                 P1 panic site is annotated with whether it is reachable from a hot-marked\n\
+                 kernel entry point through the call graph, so ratchet cleanup is\n\
+                 prioritized by blast radius: a panic reachable from the per-cycle loop can\n\
+                 kill a billion-cycle sweep. See the `panic_report` array in `--json`.\n\
+                 Mark a site as reviewed with `// chainiq-analyze: allow(R1, reason)`: it\n\
+                 stays in the report, flagged as justified."
+            }
+            RuleId::S1 => {
+                "S1 — no wall-clock or environment reads inside a `Snapshot` impl, in any\n\
+                 crate (including the ones D2/D3 exempt). Checkpoint save/restore must be a\n\
+                 pure function of machine state; a hidden input there silently breaks the\n\
+                 restore-equals-continuous guarantee. T1 extends this check to everything\n\
+                 the impl transitively calls.\n\
+                 Suppress: `// chainiq-analyze: allow(S1, reason)` when the read provably\n\
+                 never enters the image."
+            }
+            RuleId::T1 => {
+                "T1 — determinism taint. A function using a nondeterminism source\n\
+                 (std::time/Instant/SystemTime, env::var*, HashMap/HashSet iteration,\n\
+                 thread::current) must not be reachable, through the call graph, from a\n\
+                 Snapshot impl method, a *Stats impl method, or a public function of a\n\
+                 simulation crate. Direct uses are D1/D2/D3/S1's province; T1 catches the\n\
+                 flows those file-local rules cannot see, and prints the witness path\n\
+                 (`sink → helper → source`).\n\
+                 Suppress: `// chainiq-analyze: allow(T1, reason)` at the source site;\n\
+                 residual debt is ratcheted per sink file under [taint-budget]."
+            }
+            RuleId::U1 => {
+                "U1 — every crate root must carry `#![forbid(unsafe_code)]`. The workspace\n\
+                 has no unsafe code; keep it that way by construction. No suppression —\n\
+                 add the attribute."
+            }
+            RuleId::A0 => {
+                "A0 — a malformed marker comment (`chainiq-analyze:` followed by neither\n\
+                 `hot`, `hot-path`, nor a well-formed `allow(RULE, reason)`) is itself a\n\
+                 violation. Suppressions are permanent documentation; a reasonless one is\n\
+                 noise. Fix the comment."
+            }
+            RuleId::B1 => {
+                "B1 — a baseline entry for a file that no longer exists. A stale entry's\n\
+                 budget could silently absorb new debt after a rename. Fix with\n\
+                 `--write-baseline`."
+            }
         }
     }
 }
@@ -172,10 +339,35 @@ pub struct SourceReport {
 const SUPPRESS_MARKER: &str = "chainiq-analyze:";
 
 #[derive(Debug)]
-struct Suppression {
-    rule: RuleId,
+pub(crate) struct Suppression {
+    pub(crate) rule: RuleId,
     /// Lines this suppression covers: its own and the next.
-    lines: [u32; 2],
+    pub(crate) lines: [u32; 2],
+}
+
+/// Everything the marker comments of one file declare: suppressions,
+/// `hot` function markers, and the file-level `hot-path` marker. Shared
+/// between the per-file rule scan and the workspace flow analysis
+/// ([`crate::flows`]), which needs the same suppression and hot-marker
+/// facts without re-reporting A0.
+#[derive(Debug, Default)]
+pub(crate) struct Markers {
+    pub(crate) sups: Vec<Suppression>,
+    pub(crate) hot_lines: Vec<u32>,
+    pub(crate) hot_path: bool,
+}
+
+impl Markers {
+    /// Whether `line` in this file is covered by an `allow(rule, …)`.
+    pub(crate) fn suppressed(&self, rule: RuleId, line: u32) -> bool {
+        is_suppressed(&self.sups, rule, line)
+    }
+
+    /// Whether a `fn` token on `line` carries the `hot` marker (same
+    /// line or the line directly above).
+    pub(crate) fn is_hot_fn_line(&self, line: u32) -> bool {
+        self.hot_lines.iter().any(|&l| l == line || l + 1 == line)
+    }
 }
 
 /// Parses suppression and `hot` / `hot-path` marker comments out of the
@@ -184,11 +376,11 @@ struct Suppression {
 /// suppressions, the lines carrying a `hot` marker (which gates P2; see
 /// [`hot_mask`]) and whether the file carries a `hot-path` marker (which
 /// gates P3).
-fn collect_suppressions(
+pub(crate) fn collect_markers(
     file: &str,
     toks: &[Token<'_>],
     diags: &mut Vec<Diagnostic>,
-) -> (Vec<Suppression>, Vec<u32>, bool) {
+) -> Markers {
     let mut out = Vec::new();
     let mut hot_lines = Vec::new();
     let mut hot_path = false;
@@ -239,17 +431,17 @@ fn collect_suppressions(
         }
         out.push(Suppression { rule, lines: [t.line, t.line + 1] });
     }
-    (out, hot_lines, hot_path)
+    Markers { sups: out, hot_lines, hot_path }
 }
 
-fn is_suppressed(sups: &[Suppression], rule: RuleId, line: u32) -> bool {
+pub(crate) fn is_suppressed(sups: &[Suppression], rule: RuleId, line: u32) -> bool {
     sups.iter().any(|s| s.rule == rule && s.lines.contains(&line))
 }
 
 /// Marks token ranges that belong to test-only items: an item preceded by
 /// `#[cfg(test)]` or `#[test]` (attributes stacked in any order), covered
 /// to the end of its brace block or terminating semicolon.
-fn test_mask(toks: &[Token<'_>]) -> Vec<bool> {
+pub(crate) fn test_mask(toks: &[Token<'_>]) -> Vec<bool> {
     let code: Vec<usize> = (0..toks.len())
         .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
         .collect();
@@ -495,7 +687,8 @@ fn snapshot_mask(toks: &[Token<'_>]) -> Vec<bool> {
 pub fn scan_source(crate_name: &str, file: &str, src: &str, count_panics: bool) -> SourceReport {
     let toks = lex(src);
     let mut report = SourceReport::default();
-    let (sups, hot_lines, hot_path_file) = collect_suppressions(file, &toks, &mut report.diags);
+    let markers = collect_markers(file, &toks, &mut report.diags);
+    let Markers { sups, hot_lines, hot_path: hot_path_file } = markers;
     let mask = test_mask(&toks);
     let hotm = hot_mask(&toks, &hot_lines);
     let snapm = snapshot_mask(&toks);
@@ -638,7 +831,12 @@ pub fn scan_source(crate_name: &str, file: &str, src: &str, count_panics: bool) 
             {
                 report.panic_sites += 1;
             }
-            "clone" | "collect" if hot[i] && i > 0 && punct(i - 1, ".") && punct(i + 1, "(") => {
+            "clone" | "collect" | "to_vec" | "to_string"
+                if hot[i]
+                    && i > 0
+                    && punct(i - 1, ".")
+                    && punct(after_turbofish(&code, i), "(") =>
+            {
                 push(
                     &mut report,
                     RuleId::P2,
@@ -650,13 +848,27 @@ pub fn scan_source(crate_name: &str, file: &str, src: &str, count_panics: bool) 
                     ),
                 );
             }
-            "Vec" if hot[i] && punct(i + 1, ":") && punct(i + 2, ":") && ident(i + 3, "new") => {
+            "Vec" | "Box"
+                if hot[i] && punct(i + 1, ":") && punct(i + 2, ":") && ident(i + 3, "new") =>
+            {
                 push(
                     &mut report,
                     RuleId::P2,
                     t.line,
-                    "Vec::new in a hot-marked kernel function: per-cycle paths must not \
-                     allocate; hoist the buffer into the struct and reuse it"
+                    format!(
+                        "{}::new in a hot-marked kernel function: per-cycle paths must not \
+                         allocate; hoist the buffer into the struct and reuse it",
+                        t.text
+                    ),
+                );
+            }
+            "format" if hot[i] && punct(i + 1, "!") => {
+                push(
+                    &mut report,
+                    RuleId::P2,
+                    t.line,
+                    "format! in a hot-marked kernel function: per-cycle paths must not \
+                     allocate; write into a reused String or defer rendering off the hot loop"
                         .to_string(),
                 );
             }
@@ -690,6 +902,35 @@ fn s1_message(what: &str) -> String {
 /// token runs: only count a bang-macro when it is not preceded by `.`.
 fn punct_before_is_dot(code: &[&Token<'_>], i: usize) -> bool {
     i > 0 && code[i - 1].kind == TokKind::Punct && code[i - 1].text == "."
+}
+
+/// Index of the token that must be `(` for `code[i]` (a name) to be a
+/// call: skips an optional turbofish (`::<…>`) after the name, so
+/// `.collect::<Vec<_>>()` is recognized as a call of `collect`.
+pub(crate) fn after_turbofish(code: &[&Token<'_>], i: usize) -> usize {
+    let punct_at =
+        |j: usize, p: &str| code.get(j).is_some_and(|t| t.kind == TokKind::Punct && t.text == p);
+    if !(punct_at(i + 1, ":") && punct_at(i + 2, ":") && punct_at(i + 3, "<")) {
+        return i + 1;
+    }
+    let mut depth = 0usize;
+    let mut j = i + 3;
+    while let Some(t) = code.get(j) {
+        if t.kind == TokKind::Punct {
+            match t.text {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
 }
 
 /// Whether the token stream contains `#![forbid(unsafe_code)]` (spacing

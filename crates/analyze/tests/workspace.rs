@@ -139,9 +139,9 @@ fn panic_count_increase_fails_and_decrease_passes_with_note() {
     let report = analyze_workspace(&fx.root).expect("analysis runs");
     assert!(report.diags.is_empty(), "{:?}", report.diags);
     assert!(
-        report.notes.iter().any(|n| n.contains("write-baseline")),
+        report.slack.iter().any(|n| n.contains("write-baseline")),
         "decrease should suggest re-ratcheting: {:?}",
-        report.notes
+        report.slack
     );
 }
 
@@ -211,6 +211,161 @@ fn write_baseline_refuses_while_rule_findings_exist() {
     let rules = fx.rules_found();
     assert!(rules.contains(&RuleId::D1), "baseline must not bless D1: {rules:?}");
     assert!(!rules.contains(&RuleId::P1), "P1 debt is baselined: {rules:?}");
+}
+
+// ---- flow rules end-to-end: H2 / T1 / R1 over fixture workspaces ----
+
+#[test]
+fn h2_transitive_allocation_fails_and_site_allow_passes() {
+    let fx = Fixture::new("h2-e2e");
+    fx.add_crate(
+        "core",
+        "// chainiq-analyze: hot\n\
+         pub fn tick(v: &[u8]) -> usize { helper(v) }\n\
+         fn helper(v: &[u8]) -> usize { v.to_vec().len() }\n",
+    );
+    let report = analyze_workspace(&fx.root).expect("analysis runs");
+    let h2: Vec<_> = report.diags.iter().filter(|d| d.rule == RuleId::H2).collect();
+    assert_eq!(h2.len(), 1, "{:?}", report.diags);
+    assert!(
+        h2[0].message.contains("(tick) →"),
+        "witness path names the hot root: {}",
+        h2[0].message
+    );
+    assert!(h2[0].message.contains("(helper)"), "witness path names the callee: {}", h2[0].message);
+
+    // An allow(H2) at the allocation site clears the finding; the hot
+    // fn's own body stays P2 territory (depth 0 is not H2's).
+    fx.write(
+        "crates/core/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         // chainiq-analyze: hot\n\
+         pub fn tick(v: &[u8]) -> usize { helper(v) }\n\
+         // chainiq-analyze: allow(H2, scratch copy measured cold in EXPERIMENTS.md)\n\
+         fn helper(v: &[u8]) -> usize { v.to_vec().len() }\n",
+    );
+    assert!(fx.rules_found().is_empty(), "{:?}", fx.rules_found());
+}
+
+#[test]
+fn t1_cross_crate_taint_fails_and_source_allow_kills_every_flow() {
+    // A wall-clock read in `bench` (D2-exempt) reached by a public sim
+    // fn in `core` through a path dependency: T1 at the sink, witness
+    // path crossing the crate boundary.
+    let taint = |marker: &str| {
+        let fx = Fixture::new(&format!("t1-e2e{}", marker.len()));
+        fx.add_crate_raw(
+            "bench",
+            "[package]\nname = \"bench\"\nversion = \"0.1.0\"\n\n[dependencies]\n",
+            &format!(
+                "#![forbid(unsafe_code)]\n\
+                 pub fn now_ms() -> u128 {{\n\
+                     {marker}std::time::Instant::now().elapsed().as_millis()\n\
+                 }}\n"
+            ),
+        );
+        fx.add_crate_raw(
+            "core",
+            "[package]\nname = \"core\"\nversion = \"0.1.0\"\n\n\
+             [dependencies]\nbench = { path = \"../bench\" }\n",
+            "#![forbid(unsafe_code)]\npub fn stamp() -> u128 { now_ms() }\n",
+        );
+        analyze_workspace(&fx.root).expect("analysis runs")
+    };
+
+    let report = taint("");
+    let t1: Vec<_> = report.diags.iter().filter(|d| d.rule == RuleId::T1).collect();
+    assert_eq!(t1.len(), 1, "{:?}", report.diags);
+    assert!(t1[0].file.contains("core"), "T1 anchors at the sink: {}", t1[0].file);
+    assert!(
+        t1[0].message.contains("(now_ms) →"),
+        "witness crosses into the source crate: {}",
+        t1[0].message
+    );
+    assert!(
+        t1[0].message.contains("at crates/bench/src/lib.rs"),
+        "witness ends at the source read: {}",
+        t1[0].message
+    );
+
+    // One allow(T1) at the source read kills every flow out of it.
+    let report = taint("// chainiq-analyze: allow(T1, bench timing is outside the model)\n");
+    assert!(report.diags.is_empty(), "{:?}", report.diags);
+}
+
+#[test]
+fn t1_without_dependency_edge_does_not_link_same_named_fns() {
+    // `core` has a fn named like `other`'s tainted pub fn but no dep on
+    // it: the visibility filter must keep the crates apart.
+    let fx = Fixture::new("t1-nodep");
+    fx.add_crate_raw(
+        "bench",
+        "[package]\nname = \"bench\"\nversion = \"0.1.0\"\n\n[dependencies]\n",
+        "#![forbid(unsafe_code)]\n\
+         pub fn now_ms() -> u128 { std::time::Instant::now().elapsed().as_millis() }\n",
+    );
+    fx.add_crate_raw(
+        "core",
+        "[package]\nname = \"core\"\nversion = \"0.1.0\"\n\n[dependencies]\n",
+        "#![forbid(unsafe_code)]\n\
+         fn now_ms() -> u128 { 0 }\n\
+         pub fn stamp() -> u128 { now_ms() }\n",
+    );
+    let report = analyze_workspace(&fx.root).expect("analysis runs");
+    assert!(report.diags.is_empty(), "{:?}", report.diags);
+}
+
+#[test]
+fn h2_ratchet_budget_covers_sites_and_surplus_is_slack() {
+    let fx = Fixture::new("h2-ratchet");
+    fx.add_crate(
+        "core",
+        "// chainiq-analyze: hot\n\
+         pub fn tick(v: &[u8]) -> usize { helper(v) }\n\
+         fn helper(v: &[u8]) -> usize { v.to_vec().len() }\n",
+    );
+    fx.write(
+        "analyze-baseline.toml",
+        "[panic-budget]\n[hot-alloc-budget]\n\"crates/core/src/lib.rs\" = 1\n[taint-budget]\n",
+    );
+    let report = analyze_workspace(&fx.root).expect("analysis runs");
+    assert!(report.diags.is_empty(), "budgeted site must pass: {:?}", report.diags);
+
+    // Budget above the actual count → slack, surfaced for --check-tight.
+    fx.write(
+        "analyze-baseline.toml",
+        "[panic-budget]\n[hot-alloc-budget]\n\"crates/core/src/lib.rs\" = 2\n[taint-budget]\n",
+    );
+    let report = analyze_workspace(&fx.root).expect("analysis runs");
+    assert!(report.diags.is_empty(), "{:?}", report.diags);
+    assert!(
+        report.slack.iter().any(|s| s.contains("crates/core/src/lib.rs")),
+        "surplus budget must surface as slack: {:?}",
+        report.slack
+    );
+}
+
+#[test]
+fn r1_reports_hot_reachable_panics_without_failing() {
+    let fx = Fixture::new("r1-e2e");
+    fx.add_crate(
+        "core",
+        "// chainiq-analyze: hot\n\
+         pub fn tick(o: Option<u8>) -> u8 { pick(o) }\n\
+         fn pick(o: Option<u8>) -> u8 { o.unwrap() }\n\
+         fn cold(o: Option<u8>) -> u8 { o.unwrap_or(9) }\n",
+    );
+    fx.write("analyze-baseline.toml", "[panic-budget]\n\"crates/core/src/lib.rs\" = 1\n");
+    let report = analyze_workspace(&fx.root).expect("analysis runs");
+    assert!(report.diags.is_empty(), "R1 never fails a run: {:?}", report.diags);
+    assert_eq!(report.panic_report.len(), 1, "{:?}", report.panic_report);
+    let entry = &report.panic_report[0];
+    assert!(entry.hot_reachable, "{entry:?}");
+    assert!(
+        entry.witness.as_deref().is_some_and(|w| w.contains("(tick)")),
+        "witness leads from the hot root: {entry:?}"
+    );
+    assert!(report.notes.iter().any(|n| n.contains("R1")), "{:?}", report.notes);
 }
 
 // ---- dogfood: the real repo must be clean ----

@@ -70,4 +70,37 @@ cmp "$PERF_DIR/fig3-cold.txt" "$PERF_DIR/fig3-restore-par.txt" \
 [ -n "$(ls -A "$CKPT_CACHE" 2>/dev/null)" ] \
     || { echo "ci.sh: checkpoint cache directory is empty after a caching run" >&2; exit 1; }
 
+echo "== serve smoke: daemon + storm twice over loopback, hits must be byte-stable"
+# The daemon binds an ephemeral port and publishes it via --addr-file.
+# The first storm pass populates the result cache; the second runs the
+# same deterministic job stream and must be answered entirely from it
+# (storm itself asserts byte-identity of every repeated response, and
+# --expect-warm-all-hits makes a single re-simulation fatal).
+SERVE_DIR="$PERF_DIR/serve"
+mkdir -p "$SERVE_DIR"
+CHAINIQ_BENCH_DIR="$SERVE_DIR" ./target/release/chainiq-serve \
+    --addr 127.0.0.1:0 --addr-file "$SERVE_DIR/addr" --workers 2 \
+    2> "$SERVE_DIR/daemon.log" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -f "$ANALYZE_JSON"; rm -rf "$PERF_DIR"' EXIT
+for _ in $(seq 1 100); do [ -s "$SERVE_DIR/addr" ] && break; sleep 0.1; done
+[ -s "$SERVE_DIR/addr" ] \
+    || { echo "ci.sh: chainiq-serve never published its address" >&2; exit 1; }
+SERVE_ADDR="$(cat "$SERVE_DIR/addr")"
+run_storm() {
+    CHAINIQ_BENCH_DIR="$SERVE_DIR" \
+        CHAINIQ_GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+        ./target/release/storm --addr "$SERVE_ADDR" \
+        --clients 4 --total 40 --distinct 8 --sample 2000 --hit-ratio 1.0 "$@"
+}
+run_storm >/dev/null
+run_storm --expect-warm-all-hits >/dev/null \
+    || { echo "ci.sh: second storm pass re-simulated or diverged" >&2; exit 1; }
+./target/release/storm --addr "$SERVE_ADDR" --shutdown 2>/dev/null
+wait "$SERVE_PID" \
+    || { echo "ci.sh: chainiq-serve exited uncleanly" >&2; cat "$SERVE_DIR/daemon.log" >&2; exit 1; }
+cargo run -p chainiq-analyze --release --offline -- \
+    --check-serve "$SERVE_DIR/BENCH_serve.json" "$SERVE_DIR/BENCH_serve_history.jsonl" \
+    results/BENCH_serve.json
+
 echo "ci.sh: all checks passed"

@@ -24,6 +24,7 @@ USAGE:
     chainiq-analyze --write-baseline
     chainiq-analyze --explain RULE|all
     chainiq-analyze --check-perf EMITTED.json HISTORY.jsonl COMMITTED.json
+    chainiq-analyze --check-serve EMITTED.json HISTORY.jsonl COMMITTED.json
 
 OPTIONS:
     --root DIR         analyze the workspace at DIR (default: walk up from cwd)
@@ -32,13 +33,14 @@ OPTIONS:
     --json PATH        additionally write the machine-readable report to PATH
     --explain RULE     print one rule's rationale and suppression recipe (`all`: every rule)
     --check-perf A B C perf-gate artifact consistency check (emitted, history, committed)
+    --check-serve A B C same gate for the serve-suite storm artifacts
     --help             print this help
 
 Diagnostics are `file:line: rule-id: message`. Suppress a finding inline with
 `// chainiq-analyze: allow(RULE, reason)` — the reason is mandatory. Mark a
 per-cycle kernel function with `// chainiq-analyze: hot` (opts into P2 and the
 transitive H2), a kernel file with `// chainiq-analyze: hot-path` (P3).
-Rules: D1 hash collections in sim crates; D2 wall clocks outside bench/devtest;
+Rules: D1 hash collections in sim crates; D2 wall clocks outside bench/devtest/serve;
 D3 env reads outside bench's knob.rs; H1 registry dependencies; H2 allocation
 reachable from hot functions (call-graph, ratcheted); P1 panic-site budget
 (ratcheted); P2 allocation in hot fn bodies; P3 tree maps in hot-path files;
@@ -71,17 +73,16 @@ fn main() -> ExitCode {
                     None => usage_error("--explain needs a rule id (or `all`)"),
                 };
             }
-            "--check-perf" => {
+            "--check-perf" | "--check-serve" => {
                 let (a, b, c) = match (args.next(), args.next(), args.next()) {
                     (Some(a), Some(b), Some(c)) => (a, b, c),
                     _ => {
-                        return usage_error(
-                            "--check-perf needs three paths: emitted.json history.jsonl \
-                             committed.json",
-                        )
+                        return usage_error(&format!(
+                            "{arg} needs three paths: emitted.json history.jsonl committed.json",
+                        ))
                     }
                 };
-                return run_check_perf(&a, &b, &c);
+                return run_check_artifacts(arg == "--check-serve", &a, &b, &c);
             }
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
@@ -226,7 +227,7 @@ fn run_explain(rule: &str) -> ExitCode {
     }
 }
 
-fn run_check_perf(emitted: &str, history: &str, committed: &str) -> ExitCode {
+fn run_check_artifacts(serve: bool, emitted: &str, history: &str, committed: &str) -> ExitCode {
     let read = |p: &str| match std::fs::read_to_string(p) {
         Ok(s) => Some(s),
         Err(e) => {
@@ -237,7 +238,12 @@ fn run_check_perf(emitted: &str, history: &str, committed: &str) -> ExitCode {
     let (Some(e), Some(h), Some(c)) = (read(emitted), read(history), read(committed)) else {
         return ExitCode::from(2);
     };
-    match chainiq_analyze::perfcheck::check_perf(&e, &h, &c) {
+    let checked = if serve {
+        chainiq_analyze::perfcheck::check_serve(&e, &h, &c)
+    } else {
+        chainiq_analyze::perfcheck::check_perf(&e, &h, &c)
+    };
+    match checked {
         Ok(summary) => {
             println!("chainiq-analyze: {summary}");
             ExitCode::SUCCESS

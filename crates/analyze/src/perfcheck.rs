@@ -1,42 +1,71 @@
-//! `--check-perf`: the perf-gate JSON consistency check, in Rust.
+//! `--check-perf` / `--check-serve`: the perf-gate JSON consistency
+//! checks, in Rust.
 //!
 //! ci.sh used to shell out to a python3 heredoc to validate the perf
 //! artifacts; this module is the hermetic replacement — the last
-//! non-Rust toolchain dependency in CI. It asserts exactly what the
-//! heredoc did:
+//! non-Rust toolchain dependency in CI. For each benchmark suite it
+//! asserts:
 //!
-//! 1. the emitted `BENCH_perf.json` is `suite == "perf"`, has a
-//!    non-empty `points` array, and a positive
-//!    `aggregate.sim_kcycles_per_sec`;
-//! 2. the last line of `BENCH_perf_history.jsonl` covers the same point
-//!    set and carries a non-empty `rev` label;
+//! 1. the emitted `BENCH_<suite>.json` names the right suite, has a
+//!    non-empty `points` array, and a positive headline aggregate
+//!    (`sim_kcycles_per_sec` for perf, `jobs_per_sec` for serve —
+//!    where `warm_over_cold` must additionally be positive);
+//! 2. the last line of `BENCH_<suite>_history.jsonl` covers the same
+//!    point set and carries a non-empty `rev` label;
 //! 3. the emitted point set matches the *committed*
-//!    `results/BENCH_perf.json` — a silently dropped or renamed matrix
-//!    point is a gate regression.
+//!    `results/BENCH_<suite>.json` — a silently dropped or renamed
+//!    matrix point is a gate regression.
 
 use crate::json::{parse, Value};
 use std::collections::BTreeSet;
 
-/// Runs the consistency check over the three artifact texts (emitted
-/// JSON, history JSONL, committed JSON). Returns a one-line summary.
+/// Runs the consistency check over the perf-suite artifact texts
+/// (emitted JSON, history JSONL, committed JSON). Returns a one-line
+/// summary.
 ///
 /// # Errors
 /// A human-readable description of the first inconsistency found.
 pub fn check_perf(emitted: &str, history: &str, committed: &str) -> Result<String, String> {
-    let doc = parse(emitted).map_err(|e| format!("emitted perf JSON does not parse: {e}"))?;
+    check_suite("perf", &["sim_kcycles_per_sec"], emitted, history, committed)
+}
 
-    let suite = doc.get("suite").and_then(Value::as_str).unwrap_or_default();
-    if suite != "perf" {
-        return Err(format!("emitted suite is `{suite}`, expected `perf`"));
+/// Runs the consistency check over the serve-suite artifact texts; the
+/// serve aggregate must carry positive `jobs_per_sec` *and*
+/// `warm_over_cold` (a cold-only or degenerate storm run gates red).
+///
+/// # Errors
+/// A human-readable description of the first inconsistency found.
+pub fn check_serve(emitted: &str, history: &str, committed: &str) -> Result<String, String> {
+    check_suite("serve", &["jobs_per_sec", "warm_over_cold"], emitted, history, committed)
+}
+
+fn check_suite(
+    suite: &str,
+    aggregate_keys: &[&str],
+    emitted: &str,
+    history: &str,
+    committed: &str,
+) -> Result<String, String> {
+    let doc = parse(emitted).map_err(|e| format!("emitted {suite} JSON does not parse: {e}"))?;
+
+    let found = doc.get("suite").and_then(Value::as_str).unwrap_or_default();
+    if found != suite {
+        return Err(format!("emitted suite is `{found}`, expected `{suite}`"));
     }
     let points = point_set(&doc, "emitted")?;
-    let agg = doc
-        .get("aggregate")
-        .and_then(|a| a.get("sim_kcycles_per_sec"))
-        .and_then(Value::as_f64)
-        .ok_or("emitted JSON lacks aggregate.sim_kcycles_per_sec")?;
-    if !agg.is_finite() || agg <= 0.0 {
-        return Err(format!("aggregate sim_kcycles_per_sec is {agg}, expected > 0"));
+    let mut headline = 0.0;
+    for key in aggregate_keys {
+        let agg = doc
+            .get("aggregate")
+            .and_then(|a| a.get(key))
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("emitted JSON lacks aggregate.{key}"))?;
+        if !agg.is_finite() || agg <= 0.0 {
+            return Err(format!("aggregate {key} is {agg}, expected > 0"));
+        }
+        if key == aggregate_keys.first().unwrap_or(&"") {
+            headline = agg;
+        }
     }
 
     // Every history line is itself one JSON object covering the same
@@ -59,7 +88,7 @@ pub fn check_perf(emitted: &str, history: &str, committed: &str) -> Result<Strin
     // The smoke run must cover exactly the matrix the committed artifact
     // records.
     let committed_doc =
-        parse(committed).map_err(|e| format!("committed perf JSON does not parse: {e}"))?;
+        parse(committed).map_err(|e| format!("committed {suite} JSON does not parse: {e}"))?;
     let committed_points = point_set(&committed_doc, "committed")?;
     if committed_points != points {
         return Err(format!(
@@ -70,8 +99,9 @@ pub fn check_perf(emitted: &str, history: &str, committed: &str) -> Result<Strin
     }
 
     Ok(format!(
-        "perf artifacts consistent: {} point(s), aggregate {agg} sim_kcycles_per_sec",
-        points.len()
+        "{suite} artifacts consistent: {} point(s), aggregate {headline} {}",
+        points.len(),
+        aggregate_keys.first().unwrap_or(&"")
     ))
 }
 
@@ -109,6 +139,13 @@ mod tests {
         {\"rev\": \"abc123\", \"points\": [{\"point\": \"b\"}, {\"point\": \"a\"}]}\n";
     const COMMITTED: &str = "{\"points\": [{\"point\": \"a\"}, {\"point\": \"b\"}]}";
 
+    const SERVE_EMITTED: &str = "{\"suite\": \"serve\", \
+        \"points\": [{\"point\": \"cold\"}, {\"point\": \"warm\"}], \
+        \"aggregate\": {\"jobs_per_sec\": 9000.5, \"warm_over_cold\": 42.0}}";
+    const SERVE_HISTORY: &str = "{\"rev\": \"abc123\", \
+        \"points\": [{\"point\": \"cold\"}, {\"point\": \"warm\"}]}\n";
+    const SERVE_COMMITTED: &str = "{\"points\": [{\"point\": \"warm\"}, {\"point\": \"cold\"}]}";
+
     #[test]
     fn consistent_artifacts_pass() {
         let summary = check_perf(EMITTED, HISTORY, COMMITTED).unwrap();
@@ -142,5 +179,24 @@ mod tests {
         let err = check_perf(EMITTED, HISTORY, committed).unwrap_err();
         assert!(err.contains("only-emitted=[\"b\"]"), "{err}");
         assert!(err.contains("only-committed=[\"c\"]"), "{err}");
+    }
+
+    #[test]
+    fn serve_artifacts_pass_and_suites_do_not_cross() {
+        let summary = check_serve(SERVE_EMITTED, SERVE_HISTORY, SERVE_COMMITTED).unwrap();
+        assert!(summary.contains("jobs_per_sec"), "{summary}");
+        // A perf artifact handed to the serve gate is a suite mismatch.
+        let err = check_serve(EMITTED, SERVE_HISTORY, SERVE_COMMITTED).unwrap_err();
+        assert!(err.contains("expected `serve`"), "{err}");
+    }
+
+    #[test]
+    fn serve_requires_positive_warm_over_cold() {
+        let flat = SERVE_EMITTED.replace("42.0", "0");
+        let err = check_serve(&flat, SERVE_HISTORY, SERVE_COMMITTED).unwrap_err();
+        assert!(err.contains("warm_over_cold"), "{err}");
+        let missing = SERVE_EMITTED.replace(", \"warm_over_cold\": 42.0", "");
+        let err = check_serve(&missing, SERVE_HISTORY, SERVE_COMMITTED).unwrap_err();
+        assert!(err.contains("lacks aggregate.warm_over_cold"), "{err}");
     }
 }

@@ -89,6 +89,47 @@ pub fn git_rev() -> String {
     }
 }
 
+/// Checkpoint/result cache size cap in mebibytes: `CHAINIQ_CKPT_MAX_MB`.
+/// Unset or `0` means unlimited (today's behavior); a positive value
+/// makes cache-owning code paths evict least-recently-used entries until
+/// the directory fits (see `chainiq_ckpt::CacheDir`). Unparsable values
+/// warn on stderr and fall back to unlimited.
+#[must_use]
+pub fn ckpt_max_mb() -> Option<u64> {
+    match knob("CHAINIQ_CKPT_MAX_MB", 0u64) {
+        0 => None,
+        mb => Some(mb),
+    }
+}
+
+/// Default TCP listen/connect address for `chainiq-serve` and its
+/// clients: `CHAINIQ_SERVE_ADDR`. The value must parse as a socket
+/// address (`host:port`); anything else warns on stderr and falls back
+/// to the loopback default. Port `0` asks the OS for a free port (the
+/// daemon prints — and can write to a file — the address it actually
+/// bound).
+#[must_use]
+pub fn serve_addr() -> std::net::SocketAddr {
+    let default = std::net::SocketAddr::from(([127, 0, 0, 1], 9417));
+    knob("CHAINIQ_SERVE_ADDR", default)
+}
+
+/// Pending-job queue depth for `chainiq-serve`: `CHAINIQ_SERVE_QUEUE`.
+/// A submission that would push the pending queue past this depth gets a
+/// typed `Busy` response instead of buffering without bound. `0` is
+/// rejected (with a warning) the same way a non-numeric value is.
+#[must_use]
+pub fn serve_queue_depth() -> usize {
+    const DEFAULT: usize = 256;
+    let d = knob("CHAINIQ_SERVE_QUEUE", DEFAULT);
+    if d == 0 {
+        eprintln!("warning: CHAINIQ_SERVE_QUEUE=0 is not a valid value; using default {DEFAULT}");
+        DEFAULT
+    } else {
+        d
+    }
+}
+
 /// Worker-thread count for the sweep executor: `CHAINIQ_JOBS`, defaulting
 /// to [`std::thread::available_parallelism`]. `CHAINIQ_JOBS=0` is
 /// rejected (with a warning) the same way a non-numeric value is.
@@ -147,6 +188,45 @@ mod tests {
         std::env::set_var("CHAINIQ_GIT_REV", "   ");
         assert_eq!(git_rev(), "unknown", "blank labels fall back");
         std::env::remove_var("CHAINIQ_GIT_REV");
+    }
+
+    #[test]
+    fn ckpt_max_mb_zero_and_garbage_mean_unlimited() {
+        // Only this test touches CHAINIQ_CKPT_MAX_MB, so no cross-test race.
+        std::env::remove_var("CHAINIQ_CKPT_MAX_MB");
+        assert_eq!(ckpt_max_mb(), None);
+        std::env::set_var("CHAINIQ_CKPT_MAX_MB", "0");
+        assert_eq!(ckpt_max_mb(), None);
+        std::env::set_var("CHAINIQ_CKPT_MAX_MB", "64");
+        assert_eq!(ckpt_max_mb(), Some(64));
+        std::env::set_var("CHAINIQ_CKPT_MAX_MB", "lots");
+        assert_eq!(ckpt_max_mb(), None, "unparsable caps fall back to unlimited");
+        std::env::remove_var("CHAINIQ_CKPT_MAX_MB");
+    }
+
+    #[test]
+    fn serve_addr_parses_and_rejects_garbage() {
+        // Only this test touches CHAINIQ_SERVE_ADDR, so no cross-test race.
+        std::env::remove_var("CHAINIQ_SERVE_ADDR");
+        let default = serve_addr();
+        assert!(default.ip().is_loopback());
+        std::env::set_var("CHAINIQ_SERVE_ADDR", "127.0.0.1:0");
+        assert_eq!(serve_addr().port(), 0);
+        std::env::set_var("CHAINIQ_SERVE_ADDR", "not-an-addr");
+        assert_eq!(serve_addr(), default, "unparsable addresses fall back");
+        std::env::remove_var("CHAINIQ_SERVE_ADDR");
+    }
+
+    #[test]
+    fn serve_queue_depth_rejects_zero() {
+        // Only this test touches CHAINIQ_SERVE_QUEUE, so no cross-test race.
+        std::env::remove_var("CHAINIQ_SERVE_QUEUE");
+        assert_eq!(serve_queue_depth(), 256);
+        std::env::set_var("CHAINIQ_SERVE_QUEUE", "8");
+        assert_eq!(serve_queue_depth(), 8);
+        std::env::set_var("CHAINIQ_SERVE_QUEUE", "0");
+        assert_eq!(serve_queue_depth(), 256, "0 is rejected like a parse failure");
+        std::env::remove_var("CHAINIQ_SERVE_QUEUE");
     }
 
     #[test]

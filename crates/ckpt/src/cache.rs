@@ -1,0 +1,408 @@
+//! A size/entry-capped on-disk cache directory with deterministic
+//! LRU-by-key eviction.
+//!
+//! Both caches the repo keeps on disk — the warmup checkpoint store
+//! (`DESIGN.md` §10) and the `chainiq-serve` result store (§11) — grow
+//! without bound if left alone, which a long-running daemon cannot
+//! tolerate. [`CacheDir`] wraps a directory of opaque entry files with:
+//!
+//! * a byte cap and an entry cap (either optional);
+//! * least-recently-used eviction, ties broken by key, so the eviction
+//!   sequence is a deterministic function of the access sequence;
+//! * a hit/miss/evicted tally for progress reporting and tests.
+//!
+//! Recency is tracked in memory per process and persisted to a sidecar
+//! journal (one key per line, least recent first) on every store and
+//! eviction, so a daemon restart resumes the same order. Reads touch the
+//! in-memory order only — a hit must stay cheap — so read recency made
+//! by other processes is not visible until they store or evict. Entry
+//! files whose keys the journal does not know (e.g. written directly by
+//! the sweep harness) are adopted in sorted-key order, which keeps the
+//! fallback order deterministic too.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::CkptError;
+
+/// Sidecar file holding the persisted recency order. Never treated as a
+/// cache entry.
+pub const JOURNAL: &str = "lru-journal.txt";
+
+/// Hit/miss/evicted accounting for one [`CacheDir`] instance.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheTally {
+    /// Successful [`CacheDir::load`] calls.
+    pub hits: u64,
+    /// [`CacheDir::load`] calls that found no entry.
+    pub misses: u64,
+    /// Entries deleted to satisfy the caps.
+    pub evicted: u64,
+}
+
+impl std::fmt::Display for CacheTally {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} hits, {} misses, {} evicted", self.hits, self.misses, self.evicted)
+    }
+}
+
+/// One tracked entry: recency sequence number and on-disk size.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    seq: u64,
+    bytes: u64,
+}
+
+/// A capped cache directory of opaque, atomically written entry files.
+///
+/// Keys are plain file names (no path separators, no leading dot). The
+/// value bytes are whatever the caller frames — checkpoint images and
+/// result images both carry their own fingerprints, so this layer treats
+/// them as opaque.
+#[derive(Debug)]
+pub struct CacheDir {
+    dir: PathBuf,
+    max_bytes: Option<u64>,
+    max_entries: Option<usize>,
+    entries: BTreeMap<String, Entry>,
+    next_seq: u64,
+    tally: CacheTally,
+}
+
+impl CacheDir {
+    /// Opens (creating if needed) the cache at `dir` with the given caps
+    /// (`None` = unlimited). Reloads the persisted recency journal and
+    /// adopts any untracked entry files in sorted-key order, oldest
+    /// first, so two processes opening the same directory agree on the
+    /// eviction order.
+    ///
+    /// # Errors
+    /// [`CkptError::Io`] if the directory cannot be created or listed.
+    pub fn open(
+        dir: &Path,
+        max_bytes: Option<u64>,
+        max_entries: Option<usize>,
+    ) -> Result<Self, CkptError> {
+        std::fs::create_dir_all(dir)?;
+        let mut on_disk: BTreeMap<String, u64> = BTreeMap::new();
+        for ent in std::fs::read_dir(dir)? {
+            let ent = ent?;
+            let name = ent.file_name().to_string_lossy().into_owned();
+            if !valid_key(&name) {
+                continue; // journal, tmp files, subdirectories by name
+            }
+            if ent.file_type()?.is_file() {
+                on_disk.insert(name, ent.metadata()?.len());
+            }
+        }
+        let mut cache = CacheDir {
+            dir: dir.to_path_buf(),
+            max_bytes,
+            max_entries,
+            entries: BTreeMap::new(),
+            next_seq: 0,
+            tally: CacheTally::default(),
+        };
+        // Journal order first (least recent first), then unknown keys in
+        // sorted order — deterministic whatever the directory held.
+        let journal = std::fs::read_to_string(dir.join(JOURNAL)).unwrap_or_default();
+        for key in journal.lines().map(str::trim).filter(|k| valid_key(k)) {
+            if let Some(bytes) = on_disk.remove(key) {
+                let seq = cache.bump();
+                cache.entries.insert(key.to_string(), Entry { seq, bytes });
+            }
+        }
+        for (key, bytes) in on_disk {
+            let seq = cache.bump();
+            cache.entries.insert(key, Entry { seq, bytes });
+        }
+        Ok(cache)
+    }
+
+    /// The directory this cache lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of tracked entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total tracked payload bytes (entry files only, journal excluded).
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
+    /// The hit/miss/evicted tally since this instance opened.
+    #[must_use]
+    pub fn tally(&self) -> CacheTally {
+        self.tally
+    }
+
+    /// Loads the entry for `key`, bumping its recency on a hit. A
+    /// missing entry is a miss; an unreadable entry file is reported as
+    /// an I/O error (callers with a cold path treat it as a miss).
+    ///
+    /// # Errors
+    /// [`CkptError::Io`] if the entry exists but cannot be read, or
+    /// [`CkptError::Corrupt`] for an invalid key.
+    pub fn load(&mut self, key: &str) -> Result<Option<Vec<u8>>, CkptError> {
+        check_key(key)?;
+        if !self.entries.contains_key(key) {
+            self.tally.misses += 1;
+            return Ok(None);
+        }
+        match std::fs::read(self.dir.join(key)) {
+            Ok(bytes) => {
+                let seq = self.bump();
+                if let Some(e) = self.entries.get_mut(key) {
+                    e.seq = seq;
+                }
+                self.tally.hits += 1;
+                Ok(Some(bytes))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // Evicted or removed behind our back: forget it.
+                self.entries.remove(key);
+                self.tally.misses += 1;
+                Ok(None)
+            }
+            Err(e) => Err(CkptError::Io(e)),
+        }
+    }
+
+    /// Stores `bytes` under `key` (atomic write, last writer wins),
+    /// marks it most recent, enforces the caps, and persists the
+    /// recency journal.
+    ///
+    /// The most-recently-touched entry is never evicted, so a store
+    /// always survives its own cap enforcement even when one entry
+    /// exceeds the byte cap on its own.
+    ///
+    /// # Errors
+    /// [`CkptError::Io`] on any filesystem failure, or
+    /// [`CkptError::Corrupt`] for an invalid key.
+    pub fn store(&mut self, key: &str, bytes: &[u8]) -> Result<(), CkptError> {
+        check_key(key)?;
+        crate::write_image_atomic(&self.dir.join(key), bytes)?;
+        let seq = self.bump();
+        self.entries.insert(key.to_string(), Entry { seq, bytes: bytes.len() as u64 });
+        self.enforce()?;
+        self.persist_order()
+    }
+
+    /// Enforces the byte and entry caps by evicting least-recent entries
+    /// (ties broken by key) and persists the journal. Called by
+    /// [`CacheDir::store`]; also useful standalone after adopting files
+    /// written directly by the sweep harness.
+    ///
+    /// # Errors
+    /// [`CkptError::Io`] if an eviction or the journal write fails.
+    pub fn enforce_and_persist(&mut self) -> Result<(), CkptError> {
+        self.enforce()?;
+        self.persist_order()
+    }
+
+    fn enforce(&mut self) -> Result<(), CkptError> {
+        loop {
+            let over_bytes = self.max_bytes.is_some_and(|cap| self.total_bytes() > cap);
+            let over_entries = self.max_entries.is_some_and(|cap| self.entries.len() > cap);
+            if !(over_bytes || over_entries) || self.entries.len() <= 1 {
+                return Ok(());
+            }
+            // Victim: lowest (seq, key). BTreeMap iteration makes the key
+            // tiebreak deterministic.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(k, e)| (e.seq, (*k).clone()))
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else {
+                return Ok(());
+            };
+            match std::fs::remove_file(self.dir.join(&victim)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(CkptError::Io(e)),
+            }
+            self.entries.remove(&victim);
+            self.tally.evicted += 1;
+        }
+    }
+
+    /// Writes the recency journal (least recent first) atomically.
+    fn persist_order(&self) -> Result<(), CkptError> {
+        let mut order: Vec<(&u64, &String)> =
+            self.entries.iter().map(|(k, e)| (&e.seq, k)).collect();
+        order.sort();
+        let mut body = String::new();
+        for (_, key) in order {
+            body.push_str(key);
+            body.push('\n');
+        }
+        crate::write_image_atomic(&self.dir.join(JOURNAL), body.as_bytes())
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+}
+
+/// Whether `name` names a cache entry (not the journal, a temp file, or
+/// anything path-shaped).
+fn valid_key(name: &str) -> bool {
+    !name.is_empty()
+        && name != JOURNAL
+        && !name.starts_with('.')
+        && !name.contains('/')
+        && !name.contains('\\')
+}
+
+fn check_key(key: &str) -> Result<(), CkptError> {
+    if valid_key(key) {
+        Ok(())
+    } else {
+        Err(CkptError::Corrupt { context: format!("invalid cache key {key:?}") })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scratch directory, removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(name: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("chainiq-cachedir-{}-{name}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn keys(c: &CacheDir) -> Vec<String> {
+        c.entries.keys().cloned().collect()
+    }
+
+    #[test]
+    fn store_load_roundtrip_and_tally() {
+        let s = Scratch::new("roundtrip");
+        let mut c = CacheDir::open(&s.0, None, None).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.load("a.bin").unwrap(), None);
+        c.store("a.bin", b"alpha").unwrap();
+        assert_eq!(c.load("a.bin").unwrap().as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(c.tally(), CacheTally { hits: 1, misses: 1, evicted: 0 });
+        assert_eq!(c.total_bytes(), 5);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn entry_cap_evicts_least_recently_used_with_key_tiebreak() {
+        let s = Scratch::new("lru-entries");
+        let mut c = CacheDir::open(&s.0, None, Some(2)).unwrap();
+        c.store("a", b"1").unwrap();
+        c.store("b", b"2").unwrap();
+        // Touch `a`: `b` becomes least recent.
+        assert!(c.load("a").unwrap().is_some());
+        c.store("c", b"3").unwrap();
+        assert_eq!(keys(&c), vec!["a", "c"], "b was least recently used");
+        assert!(!s.0.join("b").exists());
+        // Without the touch the order is insertion order: `a` goes next.
+        c.store("d", b"4").unwrap();
+        assert_eq!(keys(&c), vec!["c", "d"]);
+        assert_eq!(c.tally().evicted, 2);
+    }
+
+    #[test]
+    fn byte_cap_evicts_until_under_but_keeps_newest() {
+        let s = Scratch::new("byte-cap");
+        let mut c = CacheDir::open(&s.0, Some(10), None).unwrap();
+        c.store("a", &[0u8; 4]).unwrap();
+        c.store("b", &[0u8; 4]).unwrap();
+        c.store("c", &[0u8; 4]).unwrap(); // 12 bytes > 10: evict a
+        assert_eq!(keys(&c), vec!["b", "c"]);
+        assert_eq!(c.total_bytes(), 8);
+        // A single oversized entry survives (never evict the newest).
+        c.store("huge", &[0u8; 64]).unwrap();
+        assert_eq!(keys(&c), vec!["huge"]);
+        assert_eq!(c.tally().evicted, 3);
+    }
+
+    #[test]
+    fn journal_preserves_order_across_instances() {
+        let s = Scratch::new("journal");
+        {
+            let mut c = CacheDir::open(&s.0, None, None).unwrap();
+            c.store("a", b"1").unwrap();
+            c.store("b", b"2").unwrap();
+            c.store("c", b"3").unwrap();
+            // Touch `a`, then persist by storing again (read recency is
+            // process-local until the next store).
+            assert!(c.load("a").unwrap().is_some());
+            c.store("d", b"4").unwrap();
+        }
+        let mut c = CacheDir::open(&s.0, None, Some(3)).unwrap();
+        assert_eq!(c.len(), 4);
+        c.enforce_and_persist().unwrap();
+        // `b` is least recent in the persisted order (a was touched).
+        assert_eq!(keys(&c), vec!["a", "c", "d"]);
+    }
+
+    #[test]
+    fn untracked_files_are_adopted_in_sorted_order() {
+        let s = Scratch::new("adopt");
+        std::fs::create_dir_all(&s.0).unwrap();
+        // Files written directly (the sweep harness path), no journal.
+        std::fs::write(s.0.join("z"), b"zz").unwrap();
+        std::fs::write(s.0.join("m"), b"mm").unwrap();
+        std::fs::write(s.0.join("a"), b"aa").unwrap();
+        std::fs::write(s.0.join(".hidden.tmp"), b"x").unwrap();
+        let mut c = CacheDir::open(&s.0, None, Some(2)).unwrap();
+        assert_eq!(c.len(), 3, "dotfiles are not entries");
+        c.enforce_and_persist().unwrap();
+        // Sorted-key adoption order: `a` is oldest, so it goes first.
+        assert_eq!(keys(&c), vec!["m", "z"]);
+        assert_eq!(c.tally().evicted, 1);
+    }
+
+    #[test]
+    fn invalid_keys_are_rejected() {
+        let s = Scratch::new("badkey");
+        let mut c = CacheDir::open(&s.0, None, None).unwrap();
+        for bad in ["", ".dot", "a/b", JOURNAL] {
+            assert!(matches!(c.store(bad, b"x"), Err(CkptError::Corrupt { .. })), "{bad:?}");
+            assert!(matches!(c.load(bad), Err(CkptError::Corrupt { .. })), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn file_removed_behind_our_back_becomes_a_miss() {
+        let s = Scratch::new("stolen");
+        let mut c = CacheDir::open(&s.0, None, None).unwrap();
+        c.store("a", b"1").unwrap();
+        std::fs::remove_file(s.0.join("a")).unwrap();
+        assert_eq!(c.load("a").unwrap(), None);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.tally().misses, 1);
+    }
+}

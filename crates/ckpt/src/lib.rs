@@ -44,6 +44,10 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cache;
+
+pub use cache::{CacheDir, CacheTally};
+
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};

@@ -1,0 +1,754 @@
+//! The wire protocol: framing, message encoding, spec canonicalization
+//! and the result-image format.
+//!
+//! # Framing
+//!
+//! Every message is one frame: a little-endian `u32` payload length
+//! (capped at [`MAX_FRAME`]) followed by that many payload bytes. The
+//! payload is a one-byte message tag followed by the tag's body, encoded
+//! with the `chainiq_ckpt` writer/reader primitives (the same
+//! little-endian, length-prefixed encoding checkpoint images use).
+//!
+//! # Versioning
+//!
+//! The first client frame must be [`ClientMsg::Hello`]: the [`MAGIC`]
+//! bytes plus the client's [`PROTO_VERSION`]. The server rejects a
+//! mismatched magic or version with [`ServerMsg::Error`] before reading
+//! anything else, so an old client never silently misparses a new
+//! server (or vice versa). Any change to the frame layout, a message
+//! body, or the spec encoding must bump [`PROTO_VERSION`].
+//!
+//! # Cache-key derivation
+//!
+//! [`spec_key`] is the FNV-1a fingerprint of the spec's canonical
+//! encoding ([`pack_spec`]): every field of the benchmark name, the
+//! full queue geometry, the predictor configuration, the sample length
+//! and the workload seed. Two specs collide only if they are the same
+//! experiment, so the key doubles as the content address of the result
+//! image — and as the single-flight identity of an in-flight job.
+
+use std::io::{Read, Write};
+
+use chainiq::ckpt::{
+    fingerprint, CkptError, CkptHeader, ImageReader, ImageWriter, Pack, Reader, Snapshot, Writer,
+};
+use chainiq::{
+    Bench, DistanceConfig, IqKind, PrescheduleConfig, RunResult, SegmentedIqConfig, SimStats,
+};
+use chainiq_bench::{PredictorConfig, RunSpec};
+
+/// Leading bytes of the Hello frame ("CHAINIQ Serve").
+pub const MAGIC: [u8; 8] = *b"CHAINIQS";
+
+/// Protocol version; bump on any change to framing, messages, or the
+/// spec/result encodings.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Hard ceiling on one frame's payload, so a corrupt or hostile length
+/// prefix cannot ask the peer to allocate without bound.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Why a protocol operation failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or filesystem failure.
+    Io(std::io::Error),
+    /// The peer sent bytes this build cannot understand (bad magic,
+    /// version, tag, or body).
+    Proto(String),
+    /// The server answered with a typed [`ServerMsg::Error`].
+    Remote(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve I/O error: {e}"),
+            ServeError::Proto(m) => write!(f, "serve protocol error: {m}"),
+            ServeError::Remote(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<CkptError> for ServeError {
+    fn from(e: CkptError) -> Self {
+        ServeError::Proto(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame and flushes.
+///
+/// # Errors
+/// [`ServeError::Proto`] if the payload exceeds [`MAX_FRAME`],
+/// [`ServeError::Io`] on socket failure.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError> {
+    let len = u32::try_from(payload.len()).ok().filter(|&l| l <= MAX_FRAME).ok_or_else(|| {
+        ServeError::Proto(format!("frame of {} bytes exceeds cap", payload.len()))
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+/// [`ServeError::Proto`] on an over-cap length, [`ServeError::Io`] on a
+/// short or failed read.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServeError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(ServeError::Proto(format!("declared frame of {len} bytes exceeds cap")));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+// ---------------------------------------------------------------------------
+// Spec canonicalization
+// ---------------------------------------------------------------------------
+
+/// Appends the canonical encoding of `spec` — the bytes [`spec_key`]
+/// fingerprints and [`ClientMsg::Submit`] carries.
+pub fn pack_spec(spec: &RunSpec, w: &mut Writer) {
+    w.put_str(spec.bench.name());
+    match spec.iq {
+        IqKind::Ideal(entries) => {
+            w.put_u8(0);
+            entries.pack(w);
+        }
+        IqKind::Segmented(c) => {
+            w.put_u8(1);
+            c.num_segments.pack(w);
+            c.segment_size.pack(w);
+            c.promote_width.pack(w);
+            c.max_chains.pack(w);
+            c.pushdown.pack(w);
+            c.bypass.pack(w);
+            c.two_chain_tracking.pack(w);
+            c.deadlock_recovery.pack(w);
+            c.predicted_load_latency.pack(w);
+            c.countdown_includes_descent.pack(w);
+        }
+        IqKind::Prescheduled(c) => {
+            w.put_u8(2);
+            c.issue_buffer_size.pack(w);
+            c.num_lines.pack(w);
+            c.line_width.pack(w);
+            c.predicted_load_latency.pack(w);
+        }
+        IqKind::Distance(c) => {
+            w.put_u8(3);
+            c.wait_buffer_size.pack(w);
+            c.num_lines.pack(w);
+            c.line_width.pack(w);
+            c.predicted_load_latency.pack(w);
+        }
+    }
+    let pred = PredictorConfig::ALL.iter().position(|p| *p == spec.pred).unwrap_or(0);
+    w.put_u8(pred as u8);
+    spec.sample.pack(w);
+    spec.seed.pack(w);
+}
+
+/// Reads back one [`pack_spec`] encoding, validating every field so a
+/// malformed submission is a typed error — never a panicking or hanging
+/// simulator construction.
+///
+/// # Errors
+/// [`ServeError::Proto`] on an unknown benchmark, queue tag or
+/// predictor index, or a degenerate queue geometry.
+pub fn unpack_spec(r: &mut Reader<'_>) -> Result<RunSpec, ServeError> {
+    let bench_name = r.take_str("bench name")?;
+    let bench = Bench::from_name(&bench_name).map_err(ServeError::Proto)?;
+    let iq = match r.take_u8("iq tag")? {
+        0 => {
+            let entries = require_nonzero(usize::unpack(r)?, "ideal queue entries")?;
+            IqKind::Ideal(entries)
+        }
+        1 => IqKind::Segmented(SegmentedIqConfig {
+            num_segments: require_nonzero(usize::unpack(r)?, "segment count")?,
+            segment_size: require_nonzero(usize::unpack(r)?, "segment size")?,
+            promote_width: require_nonzero(usize::unpack(r)?, "promote width")?,
+            max_chains: Option::unpack(r)?,
+            pushdown: bool::unpack(r)?,
+            bypass: bool::unpack(r)?,
+            two_chain_tracking: bool::unpack(r)?,
+            deadlock_recovery: bool::unpack(r)?,
+            predicted_load_latency: i64::unpack(r)?,
+            countdown_includes_descent: bool::unpack(r)?,
+        }),
+        2 => IqKind::Prescheduled(PrescheduleConfig {
+            issue_buffer_size: require_nonzero(usize::unpack(r)?, "issue buffer size")?,
+            num_lines: require_nonzero(usize::unpack(r)?, "scheduling lines")?,
+            line_width: require_nonzero(usize::unpack(r)?, "line width")?,
+            predicted_load_latency: u64::unpack(r)?,
+        }),
+        3 => IqKind::Distance(DistanceConfig {
+            wait_buffer_size: require_nonzero(usize::unpack(r)?, "wait buffer size")?,
+            num_lines: require_nonzero(usize::unpack(r)?, "scheduling lines")?,
+            line_width: require_nonzero(usize::unpack(r)?, "line width")?,
+            predicted_load_latency: u64::unpack(r)?,
+        }),
+        other => return Err(ServeError::Proto(format!("unknown iq tag {other}"))),
+    };
+    let pred_idx = r.take_u8("predictor index")? as usize;
+    let pred = *PredictorConfig::ALL
+        .get(pred_idx)
+        .ok_or_else(|| ServeError::Proto(format!("unknown predictor index {pred_idx}")))?;
+    let sample = u64::unpack(r)?;
+    let seed = u64::unpack(r)?;
+    Ok(RunSpec::new(bench, iq, pred, sample).with_seed(seed))
+}
+
+fn require_nonzero(v: usize, what: &str) -> Result<usize, ServeError> {
+    if v == 0 {
+        return Err(ServeError::Proto(format!("{what} must be nonzero")));
+    }
+    Ok(v)
+}
+
+/// The content-address of a spec's result: the fingerprint of its
+/// canonical encoding. Doubles as the single-flight job identity.
+#[must_use]
+pub fn spec_key(spec: &RunSpec) -> u64 {
+    let mut w = Writer::new();
+    pack_spec(spec, &mut w);
+    fingerprint(w.bytes())
+}
+
+/// The result-cache file name for a spec key.
+#[must_use]
+pub fn entry_name(key: u64) -> String {
+    format!("res-{key:016x}.bin")
+}
+
+// ---------------------------------------------------------------------------
+// Server-side accounting
+// ---------------------------------------------------------------------------
+
+/// Daemon counters, returned over the wire by [`ServerMsg::Stats`].
+///
+/// These methods are determinism sinks under `chainiq-analyze` rule T1:
+/// nothing here may reach a wall-clock or environment read, so the
+/// numbers a client sees are a pure function of the submissions the
+/// server handled.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Specs received inside accepted (non-Busy) grids.
+    pub submitted: u64,
+    /// Specs answered straight from the result cache.
+    pub hits: u64,
+    /// Specs collapsed onto an already in-flight identical job.
+    pub joined: u64,
+    /// Specs actually simulated by a worker.
+    pub simulated: u64,
+    /// Whole grids refused with [`ServerMsg::Busy`].
+    pub busy: u64,
+    /// Result images that could not be written to the cache (the
+    /// response was still served from memory).
+    pub store_failures: u64,
+    /// Cache entries evicted by the size/entry cap since startup.
+    pub evicted: u64,
+}
+
+impl Pack for ServeStats {
+    fn pack(&self, w: &mut Writer) {
+        self.submitted.pack(w);
+        self.hits.pack(w);
+        self.joined.pack(w);
+        self.simulated.pack(w);
+        self.busy.pack(w);
+        self.store_failures.pack(w);
+        self.evicted.pack(w);
+    }
+    fn unpack(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        Ok(ServeStats {
+            submitted: Pack::unpack(r)?,
+            hits: Pack::unpack(r)?,
+            joined: Pack::unpack(r)?,
+            simulated: Pack::unpack(r)?,
+            busy: Pack::unpack(r)?,
+            store_failures: Pack::unpack(r)?,
+            evicted: Pack::unpack(r)?,
+        })
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} submitted: {} hits, {} joined, {} simulated, {} busy, {} evicted",
+            self.submitted, self.hits, self.joined, self.simulated, self.busy, self.evicted
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// Frames a client sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Handshake: magic plus the client's protocol version. Must be the
+    /// first frame on a connection.
+    Hello {
+        /// The client's [`PROTO_VERSION`].
+        version: u16,
+    },
+    /// A grid of specs to resolve; results come back in submission
+    /// order.
+    Submit(
+        /// The grid, in submission order.
+        Vec<RunSpec>,
+    ),
+    /// Request the server's [`ServeStats`].
+    Stats,
+    /// Ask the daemon to drain its queue and exit.
+    Shutdown,
+}
+
+impl ClientMsg {
+    /// Encodes this message as one frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            ClientMsg::Hello { version } => {
+                w.put_u8(0);
+                w.put_bytes(&MAGIC);
+                w.put_u16(*version);
+            }
+            ClientMsg::Submit(specs) => {
+                w.put_u8(1);
+                w.put_u64(specs.len() as u64);
+                for spec in specs {
+                    pack_spec(spec, &mut w);
+                }
+            }
+            ClientMsg::Stats => w.put_u8(2),
+            ClientMsg::Shutdown => w.put_u8(3),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes one frame payload.
+    ///
+    /// # Errors
+    /// [`ServeError::Proto`] on an unknown tag, bad magic, or a
+    /// malformed body.
+    pub fn decode(payload: &[u8]) -> Result<ClientMsg, ServeError> {
+        let mut r = Reader::new(payload);
+        let msg = match r.take_u8("client tag")? {
+            0 => {
+                let magic = r.take_bytes(MAGIC.len(), "hello magic")?;
+                if magic != MAGIC {
+                    return Err(ServeError::Proto("bad hello magic".to_string()));
+                }
+                ClientMsg::Hello { version: r.take_u16("hello version")? }
+            }
+            1 => {
+                let n = r.take_u64("spec count")?;
+                // Each spec is ≥ 20 bytes on the wire, so the count is
+                // bounded by the (already capped) frame before any
+                // allocation happens.
+                if n > payload.len() as u64 {
+                    return Err(ServeError::Proto(format!("absurd spec count {n}")));
+                }
+                let mut specs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    specs.push(unpack_spec(&mut r)?);
+                }
+                ClientMsg::Submit(specs)
+            }
+            2 => ClientMsg::Stats,
+            3 => ClientMsg::Shutdown,
+            other => return Err(ServeError::Proto(format!("unknown client tag {other}"))),
+        };
+        expect_exhausted(&r)?;
+        Ok(msg)
+    }
+}
+
+/// Frames the server sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Handshake acknowledgement carrying the server's version.
+    HelloAck {
+        /// The server's [`PROTO_VERSION`].
+        version: u16,
+    },
+    /// The pending queue cannot take this grid; resubmit later. The
+    /// grid was **not** partially enqueued.
+    Busy {
+        /// Jobs pending when the grid arrived.
+        queued: u64,
+        /// The configured queue depth.
+        cap: u64,
+    },
+    /// One progress note for the job at `index` of the current grid.
+    Progress {
+        /// Submission index within the grid.
+        index: u64,
+        /// Machine-stable note: `hit`, `joined`, `queued`, or `done`.
+        note: String,
+    },
+    /// The result image for the job at `index`. Sent in submission
+    /// order after every job of the grid resolved.
+    Result {
+        /// Submission index within the grid.
+        index: u64,
+        /// The checkpoint-format result image ([`encode_result`]).
+        image: Vec<u8>,
+    },
+    /// The grid is fully answered.
+    GridDone {
+        /// Number of results sent.
+        total: u64,
+    },
+    /// Server counters, answering [`ClientMsg::Stats`] or
+    /// [`ClientMsg::Shutdown`].
+    Stats(
+        /// The counters at the time of the request.
+        ServeStats,
+    ),
+    /// The request could not be served; the connection is closed after
+    /// this frame.
+    Error(
+        /// Human-readable description.
+        String,
+    ),
+}
+
+impl ServerMsg {
+    /// Encodes this message as one frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            ServerMsg::HelloAck { version } => {
+                w.put_u8(0);
+                w.put_u16(*version);
+            }
+            ServerMsg::Busy { queued, cap } => {
+                w.put_u8(1);
+                w.put_u64(*queued);
+                w.put_u64(*cap);
+            }
+            ServerMsg::Progress { index, note } => {
+                w.put_u8(2);
+                w.put_u64(*index);
+                w.put_str(note);
+            }
+            ServerMsg::Result { index, image } => {
+                w.put_u8(3);
+                w.put_u64(*index);
+                w.put_u64(image.len() as u64);
+                w.put_bytes(image);
+            }
+            ServerMsg::GridDone { total } => {
+                w.put_u8(4);
+                w.put_u64(*total);
+            }
+            ServerMsg::Stats(stats) => {
+                w.put_u8(5);
+                stats.pack(&mut w);
+            }
+            ServerMsg::Error(message) => {
+                w.put_u8(6);
+                w.put_str(message);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes one frame payload.
+    ///
+    /// # Errors
+    /// [`ServeError::Proto`] on an unknown tag or malformed body.
+    pub fn decode(payload: &[u8]) -> Result<ServerMsg, ServeError> {
+        let mut r = Reader::new(payload);
+        let msg = match r.take_u8("server tag")? {
+            0 => ServerMsg::HelloAck { version: r.take_u16("ack version")? },
+            1 => {
+                ServerMsg::Busy { queued: r.take_u64("busy queued")?, cap: r.take_u64("busy cap")? }
+            }
+            2 => ServerMsg::Progress {
+                index: r.take_u64("progress index")?,
+                note: r.take_str("progress note")?,
+            },
+            3 => {
+                let index = r.take_u64("result index")?;
+                let len = r.take_len("result image length")?;
+                let image = r.take_bytes(len, "result image")?.to_vec();
+                ServerMsg::Result { index, image }
+            }
+            4 => ServerMsg::GridDone { total: r.take_u64("grid total")? },
+            5 => ServerMsg::Stats(ServeStats::unpack(&mut r)?),
+            6 => ServerMsg::Error(r.take_str("error message")?),
+            other => return Err(ServeError::Proto(format!("unknown server tag {other}"))),
+        };
+        expect_exhausted(&r)?;
+        Ok(msg)
+    }
+}
+
+fn expect_exhausted(r: &Reader<'_>) -> Result<(), ServeError> {
+    if r.is_exhausted() {
+        Ok(())
+    } else {
+        Err(ServeError::Proto(format!("{} trailing bytes after message", r.remaining())))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result images
+// ---------------------------------------------------------------------------
+
+/// Layout identity of the stored result payload, carried in the image
+/// header's `config_hash` slot so a schema change invalidates old cache
+/// entries by key mismatch rather than misparse.
+#[must_use]
+pub fn result_schema() -> u64 {
+    fingerprint(b"chainiq-serve result v1")
+}
+
+/// The result payload as a checkpoint section: the full [`SimStats`]
+/// plus the segmented-queue stats when that design ran.
+struct StoredResult {
+    result: RunResult,
+}
+
+impl Snapshot for StoredResult {
+    const COMPONENT: &'static str = "run-result";
+    const VERSION: u16 = 1;
+
+    fn save(&self, w: &mut Writer) {
+        self.result.stats.pack(w);
+        self.result.segmented.pack(w);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), CkptError> {
+        self.result.stats = Pack::unpack(r)?;
+        self.result.segmented = Pack::unpack(r)?;
+        Ok(())
+    }
+}
+
+/// Encodes a run's result as a self-validating checkpoint image, keyed
+/// by the spec fingerprint. Deterministic: one spec, one byte string.
+#[must_use]
+pub fn encode_result(key: u64, sample: u64, result: &RunResult) -> Vec<u8> {
+    let mut img = ImageWriter::new(CkptHeader {
+        workload_fp: key,
+        config_hash: result_schema(),
+        warmup: sample,
+    });
+    img.section(&StoredResult { result: result.clone() });
+    img.finish()
+}
+
+/// Decodes and validates one [`encode_result`] image, checking it is
+/// keyed for `key`/`sample` and carries the current schema.
+///
+/// # Errors
+/// [`ServeError::Proto`] on a corrupt, truncated, or differently-keyed
+/// image.
+pub fn decode_result(bytes: &[u8], key: u64, sample: u64) -> Result<RunResult, ServeError> {
+    let mut img = ImageReader::parse(bytes)?;
+    img.expect_key(CkptHeader { workload_fp: key, config_hash: result_schema(), warmup: sample })?;
+    let mut stored =
+        StoredResult { result: RunResult { stats: SimStats::default(), segmented: None } };
+    img.section(&mut stored)?;
+    img.finish()?;
+    Ok(stored.result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainiq_bench::{ideal, prescheduled, segmented};
+
+    fn sample_specs() -> Vec<RunSpec> {
+        vec![
+            RunSpec::new(Bench::Swim, ideal(32), PredictorConfig::Base, 1_000),
+            RunSpec::new(Bench::Gcc, segmented(512, Some(128)), PredictorConfig::Comb, 2_000),
+            RunSpec::new(Bench::Twolf, prescheduled(24), PredictorConfig::Hmp, 3_000).with_seed(7),
+            RunSpec::new(
+                Bench::Ammp,
+                IqKind::Distance(DistanceConfig::paper_sized(8)),
+                PredictorConfig::Lrp,
+                4_000,
+            ),
+        ]
+    }
+
+    #[test]
+    fn specs_round_trip_canonically() {
+        for spec in sample_specs() {
+            let mut w = Writer::new();
+            pack_spec(&spec, &mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = unpack_spec(&mut r).unwrap();
+            assert!(r.is_exhausted());
+            assert_eq!(back, spec);
+            // Canonical: re-encoding the decoded spec is byte-identical,
+            // so the fingerprint is a stable content address.
+            let mut w2 = Writer::new();
+            pack_spec(&back, &mut w2);
+            assert_eq!(w2.bytes(), bytes.as_slice());
+            assert_eq!(spec_key(&back), spec_key(&spec));
+        }
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_keys() {
+        let specs = sample_specs();
+        let mut keys: Vec<u64> = specs.iter().map(spec_key).collect();
+        let base = specs[0];
+        keys.push(spec_key(&base.with_seed(base.seed + 1)));
+        keys.push(spec_key(&RunSpec { sample: base.sample + 1, ..base }));
+        keys.push(spec_key(&RunSpec { pred: PredictorConfig::Comb, ..base }));
+        let distinct: std::collections::BTreeSet<u64> = keys.iter().copied().collect();
+        assert_eq!(distinct.len(), keys.len(), "every field must feed the key");
+    }
+
+    #[test]
+    fn degenerate_geometry_is_rejected_not_panicking() {
+        // A zero segment count on the wire must come back as a typed
+        // error; constructing the config directly would panic later.
+        let spec = RunSpec::new(Bench::Swim, segmented(64, None), PredictorConfig::Base, 100);
+        let mut w = Writer::new();
+        pack_spec(&spec, &mut w);
+        let mut bytes = w.into_bytes();
+        // The segment count is the first usize after the bench name and
+        // iq tag: 8 (name len) + 4 (name) + 1 (tag) = offset 13.
+        for b in &mut bytes[13..21] {
+            *b = 0;
+        }
+        let err = unpack_spec(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, ServeError::Proto(ref m) if m.contains("segment count")), "{err}");
+    }
+
+    #[test]
+    fn client_messages_round_trip() {
+        let msgs = vec![
+            ClientMsg::Hello { version: PROTO_VERSION },
+            ClientMsg::Submit(sample_specs()),
+            ClientMsg::Submit(Vec::new()),
+            ClientMsg::Stats,
+            ClientMsg::Shutdown,
+        ];
+        for msg in msgs {
+            let payload = msg.encode();
+            assert_eq!(ClientMsg::decode(&payload).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn server_messages_round_trip() {
+        let msgs = vec![
+            ServerMsg::HelloAck { version: PROTO_VERSION },
+            ServerMsg::Busy { queued: 3, cap: 2 },
+            ServerMsg::Progress { index: 1, note: "hit".to_string() },
+            ServerMsg::Result { index: 0, image: vec![1, 2, 3] },
+            ServerMsg::GridDone { total: 4 },
+            ServerMsg::Stats(ServeStats { submitted: 9, hits: 5, ..ServeStats::default() }),
+            ServerMsg::Error("nope".to_string()),
+        ];
+        for msg in msgs {
+            let payload = msg.encode();
+            assert_eq!(ServerMsg::decode(&payload).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_tag_and_trailing_bytes_are_typed_errors() {
+        let mut hello = ClientMsg::Hello { version: PROTO_VERSION }.encode();
+        hello[1] = b'X';
+        assert!(matches!(ClientMsg::decode(&hello), Err(ServeError::Proto(_))));
+        assert!(matches!(ClientMsg::decode(&[99]), Err(ServeError::Proto(_))));
+        assert!(matches!(ServerMsg::decode(&[99]), Err(ServeError::Proto(_))));
+        let mut trailing = ClientMsg::Stats.encode();
+        trailing.push(0);
+        assert!(matches!(ClientMsg::decode(&trailing), Err(ServeError::Proto(_))));
+        assert!(matches!(ClientMsg::decode(&[]), Err(ServeError::Proto(_))));
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert!(matches!(read_frame(&mut cursor), Err(ServeError::Io(_))), "clean EOF is I/O");
+
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        let mut cursor = std::io::Cursor::new(huge.to_vec());
+        assert!(matches!(read_frame(&mut cursor), Err(ServeError::Proto(_))));
+    }
+
+    #[test]
+    fn result_images_round_trip_and_validate_keys() {
+        let spec = RunSpec::new(Bench::Swim, ideal(32), PredictorConfig::Base, 1_000);
+        let result = spec.execute();
+        let key = spec_key(&spec);
+        let bytes = encode_result(key, spec.sample, &result);
+        assert_eq!(bytes, encode_result(key, spec.sample, &result), "encoding is deterministic");
+        let back = decode_result(&bytes, key, spec.sample).unwrap();
+        assert_eq!(back.stats.cycles, result.stats.cycles);
+        assert_eq!(back.stats.committed, result.stats.committed);
+        assert_eq!(back.segmented.is_some(), result.segmented.is_some());
+        // Keyed for a different spec → typed rejection.
+        assert!(decode_result(&bytes, key ^ 1, spec.sample).is_err());
+        assert!(decode_result(&bytes, key, spec.sample + 1).is_err());
+        // Corruption → typed rejection.
+        let mut evil = bytes.clone();
+        evil[20] ^= 1;
+        assert!(decode_result(&evil, key, spec.sample).is_err());
+    }
+
+    #[test]
+    fn stats_pack_round_trips() {
+        let stats = ServeStats {
+            submitted: 1,
+            hits: 2,
+            joined: 3,
+            simulated: 4,
+            busy: 5,
+            store_failures: 6,
+            evicted: 7,
+        };
+        let mut w = Writer::new();
+        stats.pack(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(ServeStats::unpack(&mut Reader::new(&bytes)).unwrap(), stats);
+        assert!(stats.to_string().contains("2 hits"), "{stats}");
+    }
+
+    #[test]
+    fn entry_names_are_stable_and_valid_cache_keys() {
+        assert_eq!(entry_name(0xdead_beef), "res-00000000deadbeef.bin");
+    }
+}
